@@ -1,0 +1,11 @@
+"""Figure 2: execution-time breakdown of the software runtime (all benchmarks)."""
+
+
+def test_figure_02_breakdown(reproduce):
+    result = reproduce("figure_02", default_benchmarks=None)
+    # Creation-bound benchmarks must show a dependence-management-heavy master.
+    cholesky = result.row_for(benchmark="cholesky")
+    assert cholesky["master_DEPS"] > 0.5
+    # Workers spend most of their time executing tasks or idling.
+    for row in result.rows:
+        assert row["worker_EXEC"] + row["worker_IDLE"] > 0.7

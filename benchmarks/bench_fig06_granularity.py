@@ -1,0 +1,13 @@
+"""Figure 6: execution time vs task granularity (software runtime)."""
+
+DEFAULT_BENCHMARKS = ["blackscholes", "cholesky", "lu"]
+
+
+def test_figure_06_granularity(reproduce):
+    result = reproduce("figure_06", default_benchmarks=DEFAULT_BENCHMARKS)
+    # The sweep is normalized to the best granularity of each benchmark, so
+    # every benchmark has exactly one 1.0 point and nothing below it.
+    for name in {row["benchmark"] for row in result.rows}:
+        values = [row["normalized_time"] for row in result.rows if row["benchmark"] == name]
+        assert min(values) == 1.0
+        assert max(values) > 1.0

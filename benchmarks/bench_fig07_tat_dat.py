@@ -1,0 +1,12 @@
+"""Figure 7: performance sensitivity to TAT and DAT sizes."""
+
+DEFAULT_BENCHMARKS = ["histogram", "qr"]
+SIZES = [512, 2048]
+
+
+def test_figure_07_tat_dat(reproduce):
+    result = reproduce("figure_07", default_benchmarks=DEFAULT_BENCHMARKS, sizes=SIZES)
+    # The selected design point (2048/2048) is close to the ideal DMU.
+    for name in {row["benchmark"] for row in result.rows}:
+        selected = result.row_for(benchmark=name, tat_entries=2048, dat_entries=2048)
+        assert selected["performance_vs_ideal"] > 0.9

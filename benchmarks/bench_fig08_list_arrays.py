@@ -1,0 +1,16 @@
+"""Figure 8: performance sensitivity to the list-array sizes."""
+
+DEFAULT_BENCHMARKS = ["cholesky", "histogram"]
+SIZES = [128, 1024]
+
+
+def test_figure_08_list_arrays(reproduce):
+    result = reproduce("figure_08", default_benchmarks=DEFAULT_BENCHMARKS, sizes=SIZES)
+    averages = {
+        row["successor_entries"]: row["performance_vs_ideal"]
+        for row in result.rows
+        if row["benchmark"] == "AVG"
+    }
+    # 1024-entry list arrays perform at least as well as 128-entry ones.
+    assert averages[1024] >= averages[128]
+    assert averages[1024] > 0.9

@@ -1,0 +1,14 @@
+"""Figure 10: time spent in task creation, software runtime vs TDM."""
+
+DEFAULT_BENCHMARKS = None  # all nine benchmarks
+
+
+def test_figure_10_creation_time(reproduce):
+    result = reproduce("figure_10", default_benchmarks=DEFAULT_BENCHMARKS)
+    # TDM reduces the master's task-creation time for the creation-bound
+    # benchmarks and never increases it dramatically elsewhere.
+    cholesky = result.row_for(benchmark="cholesky")
+    assert cholesky["reduction_factor"] > 2.0
+    averages_sw = [row["sw_creation_fraction"] for row in result.rows]
+    averages_tdm = [row["tdm_creation_fraction"] for row in result.rows]
+    assert sum(averages_tdm) < sum(averages_sw)

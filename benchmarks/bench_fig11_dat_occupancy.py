@@ -1,0 +1,21 @@
+"""Figure 11: DAT occupancy with static vs dynamic index-bit selection."""
+
+DEFAULT_BENCHMARKS = ["blackscholes", "cholesky"]
+STATIC_BITS = [0, 8, 16]
+
+
+def test_figure_11_dat_occupancy(reproduce):
+    result = reproduce(
+        "figure_11", default_benchmarks=DEFAULT_BENCHMARKS, static_bits=STATIC_BITS
+    )
+    for name in {row["benchmark"] for row in result.rows}:
+        dynamic = result.row_for(benchmark=name, index_policy="DYN")["average_occupied_sets"]
+        statics = [
+            row["average_occupied_sets"]
+            for row in result.rows
+            if row["benchmark"] == name and row["index_policy"] != "DYN"
+        ]
+        # Dynamic selection occupies at least as many sets as the best static
+        # choice and strictly more than the worst one.
+        assert dynamic >= max(statics) * 0.99
+        assert dynamic > min(statics)

@@ -1,0 +1,19 @@
+"""Figure 12: speedup and EDP of the five software schedulers with TDM."""
+
+DEFAULT_BENCHMARKS = ["cholesky", "dedup", "blackscholes", "qr"]
+
+
+def test_figure_12_schedulers(reproduce):
+    result = reproduce("figure_12", default_benchmarks=DEFAULT_BENCHMARKS)
+    averages = {
+        row["configuration"]: row
+        for row in result.rows
+        if row["benchmark"] == "AVG"
+    }
+    # TDM with the best scheduler per benchmark beats the software runtime on
+    # both performance and EDP, and beats the best software-only configuration.
+    assert averages["OptTDM"]["speedup"] > 1.0
+    assert averages["OptTDM"]["speedup"] >= averages["OptSW"]["speedup"]
+    assert averages["OptTDM"]["normalized_edp"] < 1.0
+    # The best TDM scheduler is at least as good as always using FIFO.
+    assert averages["OptTDM"]["speedup"] >= averages["fifo+TDM"]["speedup"]

@@ -1,0 +1,17 @@
+"""Figure 13: TDM vs Carbon vs Task Superscalar."""
+
+DEFAULT_BENCHMARKS = ["cholesky", "dedup", "blackscholes", "qr"]
+
+
+def test_figure_13_comparison(reproduce):
+    result = reproduce("figure_13", default_benchmarks=DEFAULT_BENCHMARKS)
+    averages = {
+        row["configuration"]: row
+        for row in result.rows
+        if row["benchmark"] == "AVG"
+    }
+    # The paper's ordering: OptTDM >= Task Superscalar >= Carbon (on average),
+    # with TDM also winning on EDP.
+    assert averages["OptTDM"]["speedup"] >= averages["TaskSuperscalar"]["speedup"] * 0.99
+    assert averages["TaskSuperscalar"]["speedup"] >= averages["Carbon"]["speedup"] * 0.98
+    assert averages["OptTDM"]["normalized_edp"] <= averages["Carbon"]["normalized_edp"]

@@ -1,0 +1,11 @@
+"""Table II: benchmark characteristics (task counts and durations)."""
+
+
+def test_table_02_characteristics(reproduce):
+    # Table II is always generated at full scale: it characterizes the
+    # workload generators, not the simulator.
+    result = reproduce("table_02", default_benchmarks=None, scale=1.0)
+    qr = result.row_for(benchmark="qr")
+    assert qr["tdm_tasks"] == qr["paper_tdm_tasks"]
+    cholesky = result.row_for(benchmark="cholesky")
+    assert cholesky["sw_tasks"] == cholesky["paper_sw_tasks"]

@@ -1,0 +1,11 @@
+"""Table III: DMU storage and area + the 7.3x hardware-complexity comparison."""
+
+import pytest
+
+
+def test_table_03_area(reproduce):
+    result = reproduce("table_03")
+    total = result.row_for(structure="Total")
+    assert total["storage_kb"] == pytest.approx(105.25)
+    assert total["area_mm2"] == pytest.approx(0.17, rel=0.1)
+    assert any("7.3x" in note for note in result.notes)

@@ -1,0 +1,75 @@
+"""Shared infrastructure of the benchmark harnesses.
+
+Every file in this directory regenerates one table or figure of the paper
+through :mod:`repro.experiments` and reports it via pytest-benchmark.  The
+rows are printed (run pytest with ``-s`` to see them inline) and stored in
+``benchmark.extra_info`` so the numbers survive in the benchmark JSON.
+
+Two environment variables control the cost of the campaign:
+
+``REPRO_BENCH_SCALE``
+    Problem scale in (0, 1].  The default of 0.25 keeps the whole benchmark
+    suite at a few minutes; 1.0 reproduces the paper's task counts (use the
+    ``tdm-repro`` CLI for full-scale campaigns).
+
+``REPRO_BENCH_BENCHMARKS``
+    Comma-separated benchmark subset overriding each harness's default.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+import pytest
+
+from repro.experiments.common import SimulationRunner
+from repro.experiments.registry import run_experiment
+
+DEFAULT_SCALE = 0.25
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+def bench_benchmarks(default: Optional[Sequence[str]]) -> Optional[Sequence[str]]:
+    raw = os.environ.get("REPRO_BENCH_BENCHMARKS")
+    if not raw:
+        return default
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+@pytest.fixture(scope="session")
+def shared_runner() -> SimulationRunner:
+    """One memoizing runner shared by every harness in the session."""
+    return SimulationRunner(scale=bench_scale())
+
+
+@pytest.fixture
+def reproduce(benchmark, shared_runner):
+    """Run one experiment under pytest-benchmark and report its rows."""
+
+    def _run(experiment: str, default_benchmarks: Optional[Sequence[str]] = None, **kwargs):
+        names = bench_benchmarks(default_benchmarks)
+        scale = kwargs.pop("scale", shared_runner.scale)
+
+        def _call():
+            return run_experiment(
+                experiment,
+                scale=scale,
+                benchmarks=names,
+                runner=shared_runner,
+                **kwargs,
+            )
+
+        result = benchmark.pedantic(_call, rounds=1, iterations=1)
+        print()
+        print(result.to_markdown())
+        benchmark.extra_info["experiment"] = result.experiment
+        benchmark.extra_info["scale"] = shared_runner.scale
+        benchmark.extra_info["rows"] = [dict(row) for row in result.rows]
+        benchmark.extra_info["notes"] = list(result.notes)
+        return result
+
+    return _run

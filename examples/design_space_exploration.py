@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the DMU (the Section V story).
+
+Explores the three hardware design axes of the paper on a reduced-scale
+Histogram (the benchmark most sensitive to the alias-table sizing):
+
+1. the TAT/DAT sizes (Figure 7),
+2. the access latency of the DMU structures (Figure 9),
+3. static vs dynamic DAT index-bit selection (Figure 11),
+
+and finally prints the storage/area budget of the selected configuration
+(Table III).
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+from dataclasses import replace
+
+from repro import DMUConfig, DMUStorageModel, default_paper_config, run_simulation
+from repro.workloads import create_workload
+
+BENCHMARK = "histogram"
+SCALE = 1.0
+
+
+def main() -> None:
+    program = create_workload(BENCHMARK, scale=SCALE, runtime="tdm").build_program()
+    base_dmu = DMUConfig()
+
+    def run_with(dmu: DMUConfig):
+        return run_simulation(program, default_paper_config(runtime="tdm").with_dmu(dmu))
+
+    print(f"Design-space exploration on {BENCHMARK} ({program.num_tasks} tasks)\n")
+
+    ideal = run_with(DMUConfig.ideal())
+    print("TAT/DAT sizing (performance relative to an ideal, unlimited DMU):")
+    for entries in (512, 1024, 2048, 4096):
+        swept = replace(
+            base_dmu,
+            tat_entries=entries,
+            dat_entries=entries,
+            ready_queue_entries=max(entries, base_dmu.ready_queue_entries),
+        )
+        sim = run_with(swept)
+        print(f"  {entries:>5} entries : {ideal.microseconds / sim.microseconds:6.3f}")
+    print()
+
+    print("DMU structure access latency (relative to zero-latency structures):")
+    zero = run_with(replace(base_dmu, access_cycles=0))
+    for cycles in (1, 4, 16):
+        sim = run_with(replace(base_dmu, access_cycles=cycles))
+        print(f"  {cycles:>2} cycles   : {zero.microseconds / sim.microseconds:6.3f}")
+    print()
+
+    print("DAT index-bit selection (average occupied sets out of 256):")
+    for policy in ("static-0", "static-12", "dynamic"):
+        if policy == "dynamic":
+            dmu = replace(base_dmu, index_selection="dynamic")
+        else:
+            dmu = replace(
+                base_dmu,
+                index_selection="static",
+                static_index_start_bit=int(policy.split("-")[1]),
+            )
+        sim = run_with(dmu)
+        print(f"  {policy:<10} : {sim.dat_average_occupied_sets:6.1f} sets, {sim.microseconds / 1000:8.2f} ms")
+    print()
+
+    storage = DMUStorageModel(base_dmu)
+    print("Selected configuration storage budget (Table III):")
+    for structure in storage.structures():
+        print(f"  {structure.name:<11} {structure.kilobytes:6.2f} KB  {structure.area_mm2:6.3f} mm^2")
+    print(f"  {'Total':<11} {storage.total_kilobytes:6.2f} KB  {storage.total_area_mm2:6.3f} mm^2")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Run the reproduction campaign used to fill EXPERIMENTS.md.
+
+Runs every experiment with a shared simulation cache and writes one Markdown
+file per table/figure under ``results/``.  The scale and the benchmark subset
+of the heavier design-space sweeps are chosen so the whole campaign finishes
+in tens of minutes on a laptop; pass ``--scale 1.0`` for the paper's full task
+counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+
+from repro.experiments.common import SimulationRunner
+from repro.experiments.registry import run_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--output", type=pathlib.Path, default=pathlib.Path("results"))
+    parser.add_argument("--sweep-scale", type=float, default=None,
+                        help="scale for the design-space sweeps (default: same as --scale)")
+    args = parser.parse_args()
+    args.output.mkdir(parents=True, exist_ok=True)
+
+    runner = SimulationRunner(scale=args.scale, verbose=True)
+    sweep_runner = SimulationRunner(scale=args.sweep_scale or args.scale, verbose=True)
+
+    plan = [
+        ("table_03", dict(runner=runner)),
+        ("table_02", dict(scale=1.0)),
+        ("figure_02", dict(runner=runner)),
+        ("figure_10", dict(runner=runner)),
+        ("figure_12", dict(runner=runner)),
+        ("figure_13", dict(runner=runner)),
+        ("figure_06", dict(runner=sweep_runner,
+                           benchmarks=["blackscholes", "cholesky", "lu", "qr", "histogram"])),
+        ("figure_07", dict(runner=sweep_runner, benchmarks=["cholesky", "histogram", "qr", "lu", "ferret"])),
+        ("figure_08", dict(runner=sweep_runner, benchmarks=["cholesky", "histogram", "qr"])),
+        ("figure_09", dict(runner=sweep_runner, benchmarks=["cholesky", "lu", "qr"])),
+        ("figure_11", dict(runner=sweep_runner,
+                           benchmarks=["blackscholes", "cholesky", "fluidanimate", "histogram", "qr"])),
+    ]
+    for name, kwargs in plan:
+        start = time.time()
+        print(f"=== running {name} ...", flush=True)
+        result = run_experiment(name, scale=kwargs.pop("scale", args.scale), **kwargs)
+        path = args.output / f"{result.experiment}.md"
+        path.write_text(result.to_markdown(), encoding="utf-8")
+        print(f"=== {name} done in {time.time() - start:.1f}s -> {path}", flush=True)
+
+
+if __name__ == "__main__":
+    main()

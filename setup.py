@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools/pip combination
+cannot build editable wheels (no ``wheel`` package available offline), by
+falling back to the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""Reproduction of "Architectural Support for Task Dependence Management with
+Flexible Software Scheduling" (TDM, HPCA 2018).
+
+The library contains, as importable subpackages:
+
+* :mod:`repro.core` — the Dependence Management Unit (DMU) hardware model,
+* :mod:`repro.sim` — the discrete-event multi-core simulation substrate,
+* :mod:`repro.runtime` — the software / TDM / Carbon / Task-Superscalar
+  runtime systems,
+* :mod:`repro.schedulers` — the five software scheduling policies,
+* :mod:`repro.workloads` — the nine benchmark task-graph generators,
+* :mod:`repro.power` — power / energy / EDP models,
+* :mod:`repro.experiments` — one harness per table and figure of the paper,
+* :mod:`repro.analysis` — metrics, graph analysis and execution validation.
+
+Quickstart::
+
+    from repro import default_paper_config, run_simulation
+    from repro.workloads import create_workload
+
+    program = create_workload("cholesky", scale=0.25).build_program()
+    sw = run_simulation(program, default_paper_config(runtime="software"))
+    tdm = run_simulation(program, default_paper_config(runtime="tdm", scheduler="locality"))
+    print("speedup:", tdm.speedup_over(sw))
+"""
+
+from .config import (
+    ChipConfig,
+    CoreConfig,
+    CostModelConfig,
+    DMUConfig,
+    LocalityConfig,
+    SimulationConfig,
+    default_paper_config,
+)
+from .errors import (
+    ConfigurationError,
+    DMUError,
+    DMUProtocolError,
+    DMUStructureFullError,
+    DeadlockError,
+    InvalidProgramError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from .core.dmu import DependenceManagementUnit
+from .core.storage import DMUStorageModel, TaskSuperscalarStorageModel
+from .runtime.task import (
+    AccessMode,
+    DependenceSpec,
+    TaskDefinition,
+    TaskProgram,
+    TaskRegion,
+    single_region_program,
+)
+from .sim.machine import Machine, SimulationResult, run_simulation
+from .sim.timeline import Phase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChipConfig",
+    "CoreConfig",
+    "CostModelConfig",
+    "DMUConfig",
+    "LocalityConfig",
+    "SimulationConfig",
+    "default_paper_config",
+    "ReproError",
+    "ConfigurationError",
+    "DMUError",
+    "DMUProtocolError",
+    "DMUStructureFullError",
+    "DeadlockError",
+    "InvalidProgramError",
+    "SimulationError",
+    "ValidationError",
+    "DependenceManagementUnit",
+    "DMUStorageModel",
+    "TaskSuperscalarStorageModel",
+    "AccessMode",
+    "DependenceSpec",
+    "TaskDefinition",
+    "TaskProgram",
+    "TaskRegion",
+    "single_region_program",
+    "Machine",
+    "SimulationResult",
+    "run_simulation",
+    "Phase",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Analysis utilities: metrics, graph analysis and execution validation."""
+
+from .metrics import geometric_mean, normalize, relative_change, speedup
+from .validation import ReferenceGraph, validate_execution
+from .graph import critical_path_us, max_parallelism, task_graph_edges
+
+__all__ = [
+    "geometric_mean",
+    "normalize",
+    "relative_change",
+    "speedup",
+    "ReferenceGraph",
+    "validate_execution",
+    "critical_path_us",
+    "max_parallelism",
+    "task_graph_edges",
+]

@@ -1,0 +1,50 @@
+"""Scalar metrics used throughout the evaluation.
+
+The paper reports averages as geometric means ("The geometric mean of the
+speedups is also reported"), so :func:`geometric_mean` is the aggregation
+used by every experiment harness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of an empty sequence")
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def speedup(baseline_time: float, new_time: float) -> float:
+    """Speedup of ``new_time`` relative to ``baseline_time`` (>1 is faster)."""
+    if new_time <= 0:
+        raise ValueError("new_time must be positive")
+    return baseline_time / new_time
+
+
+def normalize(values: Sequence[float], reference: float) -> list[float]:
+    """Divide every value by ``reference``."""
+    if reference == 0:
+        raise ValueError("cannot normalize to zero")
+    return [value / reference for value in values]
+
+
+def relative_change(baseline: float, new: float) -> float:
+    """Relative change ``(new - baseline) / baseline``; negative means reduction."""
+    if baseline == 0:
+        raise ValueError("baseline is zero")
+    return (new - baseline) / baseline
+
+
+def percentage_improvement(baseline: float, new: float) -> float:
+    """Percentage reduction of ``new`` with respect to ``baseline``.
+
+    Positive values mean ``new`` is smaller (better for time/energy metrics).
+    """
+    return -100.0 * relative_change(baseline, new)

@@ -1,0 +1,106 @@
+"""Post-simulation validation of dependence and barrier semantics.
+
+After every simulation (unless disabled in the configuration) the recorded
+per-task timestamps are checked against a *reference* dependence graph built
+directly from the workload definitions, independently of whichever runtime
+model produced the schedule:
+
+* every task ran exactly once, with consistent created/ready/start/finish
+  timestamps,
+* for every edge of the maximal task dependence graph, the successor started
+  no earlier than its predecessor finished,
+* tasks of a later parallel region started only after every task of the
+  previous region finished (barrier semantics).
+
+This is the safety net that catches bugs in runtime/scheduler/DMU models: a
+policy that "wins" by violating dependences fails validation instead of
+producing a bogus speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ValidationError
+from ..runtime.task import TaskInstance, TaskInstanceFactory, TaskProgram
+from ..runtime.tracker import DependenceTracker
+
+
+@dataclass(frozen=True)
+class ReferenceGraph:
+    """The maximal dependence graph of a program (edges by task uid)."""
+
+    edges: Tuple[Tuple[int, int], ...]
+    region_of: Dict[int, int]
+
+    @classmethod
+    def from_program(cls, program: TaskProgram) -> "ReferenceGraph":
+        factory = TaskInstanceFactory()
+        tracker = DependenceTracker()
+        instances: List[TaskInstance] = []
+        region_of: Dict[int, int] = {}
+        for region_index, region in enumerate(program.regions):
+            for definition in region.tasks:
+                instance = factory.create(definition, region_index)
+                tracker.register_task(instance)
+                instances.append(instance)
+                region_of[definition.uid] = region_index
+        edges: List[Tuple[int, int]] = []
+        for instance in instances:
+            for successor in instance.successors:
+                edges.append((instance.uid, successor.uid))
+        return cls(edges=tuple(edges), region_of=region_of)
+
+
+def validate_execution(program: TaskProgram, instances: Sequence[TaskInstance]) -> None:
+    """Raise :class:`ValidationError` if the recorded schedule is inconsistent."""
+    by_uid: Dict[int, TaskInstance] = {}
+    for instance in instances:
+        if instance.uid in by_uid:
+            raise ValidationError(f"task uid {instance.uid} was instantiated twice")
+        by_uid[instance.uid] = instance
+
+    expected_uids = {task.uid for task in program.all_tasks()}
+    missing = expected_uids - set(by_uid)
+    if missing:
+        raise ValidationError(f"{len(missing)} tasks were never created: {sorted(missing)[:5]}")
+
+    for instance in by_uid.values():
+        if not instance.is_finished:
+            raise ValidationError(f"task {instance.name!r} never finished")
+        if instance.start_cycle is None or instance.finish_cycle is None:
+            raise ValidationError(f"task {instance.name!r} has incomplete timestamps")
+        if instance.start_cycle < instance.created_cycle:
+            raise ValidationError(f"task {instance.name!r} started before it was created")
+        if instance.finish_cycle < instance.start_cycle:
+            raise ValidationError(f"task {instance.name!r} finished before it started")
+
+    reference = ReferenceGraph.from_program(program)
+    for pred_uid, succ_uid in reference.edges:
+        pred = by_uid[pred_uid]
+        succ = by_uid[succ_uid]
+        if succ.start_cycle < pred.finish_cycle:
+            raise ValidationError(
+                f"dependence violated: {succ.name!r} (start={succ.start_cycle}) ran before "
+                f"{pred.name!r} finished (finish={pred.finish_cycle})"
+            )
+
+    # Barrier semantics between consecutive regions.
+    region_finish: Dict[int, int] = {}
+    region_start: Dict[int, int] = {}
+    for instance in by_uid.values():
+        region = reference.region_of[instance.uid]
+        region_finish[region] = max(region_finish.get(region, 0), instance.finish_cycle or 0)
+        start = instance.start_cycle or 0
+        region_start[region] = min(region_start.get(region, start), start)
+    for region_index in sorted(region_start):
+        if region_index == 0:
+            continue
+        previous_finish = region_finish.get(region_index - 1)
+        if previous_finish is not None and region_start[region_index] < previous_finish:
+            raise ValidationError(
+                f"barrier violated: region {region_index} started at "
+                f"{region_start[region_index]} before region {region_index - 1} "
+                f"finished at {previous_finish}"
+            )

@@ -1,0 +1,188 @@
+"""Task and Dependence Alias Tables (TAT / DAT).
+
+The alias tables translate 64-bit task-descriptor or dependence addresses
+into small internal IDs so that the rest of the DMU can use cheap
+direct-access SRAMs and narrow list elements.  Each table is a set-
+associative directory plus a queue of free IDs (Section III-B1 of the paper).
+
+The DAT additionally uses *dynamic index-bit selection*: because different
+tasks frequently access different blocks of the same data structure, the low
+bits of their dependence addresses are identical and a naive index would map
+everything to one set.  The DMU therefore starts the index bits at
+``log2(size)`` of the dependence (Section III-B1 / Section V-E), which this
+module implements in :func:`dat_index_start_bit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import DMUStructureFullError
+
+
+def dat_index_start_bit(size: int) -> int:
+    """Index start bit for a dependence of ``size`` bytes (dynamic selection).
+
+    The paper: "the size of the dependence is used to select the address bits
+    used as index, which start at the log2(size) lower bit".  Sizes that are
+    not powers of two round down, and degenerate sizes fall back to bit 0.
+    """
+    if size <= 1:
+        return 0
+    return max(0, size.bit_length() - 1)
+
+
+@dataclass
+class _Way:
+    """One way of one set: a tag (full address) and the internal ID it maps to."""
+
+    address: int
+    internal_id: int
+
+
+class AliasTable:
+    """Set-associative address → internal-ID directory with a free-ID queue."""
+
+    def __init__(
+        self,
+        name: str,
+        num_entries: int,
+        associativity: int,
+        index_start_bit: int = 0,
+        dynamic_index: bool = False,
+    ) -> None:
+        if num_entries % associativity != 0:
+            raise ValueError("num_entries must be a multiple of associativity")
+        self.name = name
+        self.num_entries = num_entries
+        self.associativity = associativity
+        self.num_sets = num_entries // associativity
+        self.index_start_bit = index_start_bit
+        self.dynamic_index = dynamic_index
+        self._sets: Dict[int, List[_Way]] = {}
+        self._by_address: Dict[int, int] = {}
+        self._address_set: Dict[int, int] = {}
+        # Internal IDs are handed out lazily (fresh counter + recycled stack)
+        # so that very large "ideal" configurations cost nothing up front.
+        self._next_fresh_id = 0
+        self._recycled_ids: List[int] = []
+        # statistics
+        self.lookups = 0
+        self.allocations = 0
+        self.conflict_rejections = 0
+        self.capacity_rejections = 0
+        self.peak_occupancy = 0
+        self._occupied_set_samples = 0
+        self._occupied_set_total = 0
+
+    # ------------------------------------------------------------------ indexing
+    def set_index(self, address: int, size: int = 1) -> int:
+        """Set selected for ``address`` (honouring dynamic index-bit selection)."""
+        start_bit = dat_index_start_bit(size) if self.dynamic_index else self.index_start_bit
+        return (address >> start_bit) % self.num_sets
+
+    # ------------------------------------------------------------------ occupancy
+    @property
+    def entries_in_use(self) -> int:
+        return len(self._by_address)
+
+    @property
+    def free_entries(self) -> int:
+        return self.num_entries - len(self._by_address)
+
+    def occupied_sets(self) -> int:
+        """Number of sets that currently hold at least one valid entry."""
+        return sum(1 for ways in self._sets.values() if ways)
+
+    def sample_occupancy(self) -> None:
+        """Record the current occupied-set count (drives Figure 11)."""
+        self._occupied_set_samples += 1
+        self._occupied_set_total += self.occupied_sets()
+
+    def average_occupied_sets(self) -> float:
+        """Mean number of occupied sets over all samples taken so far."""
+        if self._occupied_set_samples == 0:
+            return 0.0
+        return self._occupied_set_total / self._occupied_set_samples
+
+    # ------------------------------------------------------------------ operations
+    def lookup(self, address: int) -> Optional[int]:
+        """Return the internal ID mapped to ``address`` (None on miss)."""
+        self.lookups += 1
+        return self._by_address.get(address)
+
+    def can_allocate(self, address: int, size: int = 1) -> bool:
+        """True when ``address`` could be inserted right now without blocking."""
+        if address in self._by_address:
+            return True
+        if self.free_entries <= 0:
+            return False
+        ways = self._sets.get(self.set_index(address, size), [])
+        return len(ways) < self.associativity
+
+    def allocate(self, address: int, size: int = 1) -> int:
+        """Map ``address`` to a fresh internal ID (or return the existing one).
+
+        Raises :class:`DMUStructureFullError` when either no free ID remains
+        (capacity rejection) or the selected set has no free way (conflict
+        rejection); the two causes are counted separately because the
+        index-bit-selection experiment distinguishes them.
+        """
+        existing = self._by_address.get(address)
+        if existing is not None:
+            return existing
+        if self.free_entries <= 0:
+            self.capacity_rejections += 1
+            raise DMUStructureFullError(self.name, f"{self.name}: no free IDs")
+        set_index = self.set_index(address, size)
+        ways = self._sets.setdefault(set_index, [])
+        if len(ways) >= self.associativity:
+            self.conflict_rejections += 1
+            raise DMUStructureFullError(
+                self.name, f"{self.name}: set {set_index} has no free way"
+            )
+        if self._recycled_ids:
+            internal_id = self._recycled_ids.pop()
+        else:
+            internal_id = self._next_fresh_id
+            self._next_fresh_id += 1
+        ways.append(_Way(address=address, internal_id=internal_id))
+        self._by_address[address] = internal_id
+        self._address_set[address] = set_index
+        self.allocations += 1
+        self.peak_occupancy = max(self.peak_occupancy, self.entries_in_use)
+        return internal_id
+
+    def release(self, address: int) -> int:
+        """Remove the mapping for ``address`` and return its ID to the free queue."""
+        internal_id = self._by_address.pop(address, None)
+        if internal_id is None:
+            raise KeyError(f"{self.name}: address {address:#x} is not mapped")
+        set_index = self._address_set.pop(address)
+        ways = self._sets.get(set_index, [])
+        for position, way in enumerate(ways):
+            if way.address == address:
+                del ways[position]
+                break
+        self._recycled_ids.append(internal_id)
+        return internal_id
+
+    def address_of(self, internal_id: int) -> Optional[int]:
+        """Reverse lookup (used by tests and debugging; not a hardware path)."""
+        for address, mapped in self._by_address.items():
+            if mapped == internal_id:
+                return address
+        return None
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._by_address
+
+    def __len__(self) -> int:
+        return self.entries_in_use
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AliasTable({self.name!r}, {self.entries_in_use}/{self.num_entries} entries, "
+            f"{self.num_sets}x{self.associativity})"
+        )

@@ -1,0 +1,79 @@
+"""The Dependence Table: direct-access SRAM indexed by internal dependence IDs.
+
+Each entry (Figure 4 of the paper) stores the internal ID of the last task
+that writes the dependence (plus a valid bit) and a pointer to the list of
+reader tasks in the Reader List Array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import DMUProtocolError
+
+
+@dataclass
+class DependenceTableEntry:
+    """One in-flight dependence tracked by the DMU."""
+
+    last_writer: int = -1
+    last_writer_valid: bool = False
+    reader_list: int = -1
+
+    def set_last_writer(self, task_id: int) -> None:
+        self.last_writer = task_id
+        self.last_writer_valid = True
+
+    def invalidate_last_writer(self) -> None:
+        self.last_writer = -1
+        self.last_writer_valid = False
+
+
+class DependenceTable:
+    """Direct-access table of in-flight dependences."""
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries < 1:
+            raise ValueError("num_entries must be >= 1")
+        self.num_entries = num_entries
+        self._entries: List[Optional[DependenceTableEntry]] = [None] * num_entries
+        self.peak_occupancy = 0
+        self._occupancy = 0
+
+    @property
+    def occupancy(self) -> int:
+        return self._occupancy
+
+    def install(self, dep_id: int, entry: DependenceTableEntry) -> None:
+        """Initialize the entry for ``dep_id`` (first add_dependence of an address)."""
+        self._check_id(dep_id)
+        if self._entries[dep_id] is not None:
+            raise DMUProtocolError(f"Dependence Table entry {dep_id} is already in use")
+        self._entries[dep_id] = entry
+        self._occupancy += 1
+        self.peak_occupancy = max(self.peak_occupancy, self._occupancy)
+
+    def get(self, dep_id: int) -> DependenceTableEntry:
+        self._check_id(dep_id)
+        entry = self._entries[dep_id]
+        if entry is None:
+            raise DMUProtocolError(f"Dependence Table entry {dep_id} is not valid")
+        return entry
+
+    def free(self, dep_id: int) -> None:
+        self._check_id(dep_id)
+        if self._entries[dep_id] is None:
+            raise DMUProtocolError(f"Dependence Table entry {dep_id} is already free")
+        self._entries[dep_id] = None
+        self._occupancy -= 1
+
+    def is_valid(self, dep_id: int) -> bool:
+        self._check_id(dep_id)
+        return self._entries[dep_id] is not None
+
+    def _check_id(self, dep_id: int) -> None:
+        if not (0 <= dep_id < self.num_entries):
+            raise DMUProtocolError(
+                f"dependence id {dep_id} out of range [0, {self.num_entries})"
+            )

@@ -1,0 +1,507 @@
+"""The Dependence Management Unit (DMU).
+
+The DMU is the hardware contribution of the paper: a centralized unit on the
+NoC that keeps a representation of the task dependence graph, tracks
+dependences between in-flight tasks, and exposes ready tasks to the runtime
+system (Section III).  This module implements the unit functionally and
+structurally:
+
+* internal IDs come from the TAT/DAT alias tables (set-associative, with the
+  dynamic index-bit selection of Section V-E),
+* per-task and per-dependence metadata live in the direct-access Task Table
+  and Dependence Table,
+* successor / dependence / reader lists live in inode-style list arrays,
+* ready task IDs are exposed through a FIFO Ready Queue,
+* ``add_dependence`` and ``finish_task`` follow Algorithms 1 and 2 of the
+  paper,
+* every operation returns the number of DMU cycles it consumed, computed as
+  (number of SRAM accesses) × (configured access latency),
+* if any structure needed by an operation has no free entry, the operation
+  performs **no state change** and returns
+  :class:`~repro.core.isa.DMUBlocked`; the simulated core retries when
+  capacity is freed, which models the blocking/barrier semantics of the TDM
+  ISA instructions.
+
+Deviations from the paper, both documented in DESIGN.md:
+
+* Reader lists are allocated lazily (at the first reader) instead of eagerly
+  when the dependence entry is installed; with the paper's sizes (2048 DAT
+  entries but 1024 RLA entries) eager allocation could not hold the
+  configured number of in-flight dependences.
+* A creation-completion step (:meth:`DependenceManagementUnit.complete_creation`)
+  enqueues tasks whose predecessor count is already zero when their last
+  dependence has been registered; the paper's algorithms only enqueue tasks
+  from ``finish_task`` and would never make a dependence-free task ready.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from ..config import DMUConfig
+from ..errors import DMUProtocolError, DMUStructureFullError, UnknownTaskError
+from .alias_table import AliasTable
+from .dependence_table import DependenceTable, DependenceTableEntry
+from .isa import (
+    AddDependenceResult,
+    CompleteCreationResult,
+    CreateTaskResult,
+    DMUBlocked,
+    FinishTaskResult,
+    GetReadyTaskResult,
+)
+from .list_array import ListArray
+from .ready_queue import ReadyQueue
+from .stats import DMUStats
+from .task_table import TaskTable, TaskTableEntry
+
+CreateOutcome = Union[CreateTaskResult, DMUBlocked]
+AddDependenceOutcome = Union[AddDependenceResult, DMUBlocked]
+
+# Structure names used consistently in stats and blocking reports.
+TAT = "TAT"
+DAT = "DAT"
+TASK_TABLE = "TaskTable"
+DEP_TABLE = "DepTable"
+SLA = "SLA"
+DLA = "DLA"
+RLA = "RLA"
+READY_QUEUE = "ReadyQ"
+
+
+class DependenceManagementUnit:
+    """Functional + structural model of the DMU."""
+
+    def __init__(self, config: DMUConfig) -> None:
+        config.validate()
+        self.config = config
+        self.tat = AliasTable(
+            TAT,
+            config.tat_entries,
+            config.tat_associativity,
+            index_start_bit=6,
+        )
+        self.dat = AliasTable(
+            DAT,
+            config.dat_entries,
+            config.dat_associativity,
+            index_start_bit=config.static_index_start_bit,
+            dynamic_index=(config.index_selection == "dynamic"),
+        )
+        self.task_table = TaskTable(config.task_table_entries)
+        self.dependence_table = DependenceTable(config.dependence_table_entries)
+        self.successor_lists = ListArray(
+            SLA, config.successor_list_entries, config.elements_per_list_entry
+        )
+        self.dependence_lists = ListArray(
+            DLA, config.dependence_list_entries, config.elements_per_list_entry
+        )
+        self.reader_lists = ListArray(
+            RLA, config.reader_list_entries, config.elements_per_list_entry
+        )
+        self.ready_queue = ReadyQueue(config.ready_queue_entries)
+        self.stats = DMUStats()
+        # Model-level bookkeeping (not hardware state): reverse maps used to
+        # release alias-table entries and report descriptor addresses.
+        self._descriptor_of_task: Dict[int, int] = {}
+        self._address_of_dependence: Dict[int, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def in_flight_tasks(self) -> int:
+        """Number of tasks currently tracked (created but not finished)."""
+        return self.task_table.occupancy
+
+    @property
+    def in_flight_dependences(self) -> int:
+        """Number of dependence addresses currently tracked."""
+        return self.dependence_table.occupancy
+
+    @property
+    def ready_tasks(self) -> int:
+        """Number of task IDs currently waiting in the Ready Queue."""
+        return len(self.ready_queue)
+
+    def _cycles(self, accesses: int) -> int:
+        return accesses * self.config.access_cycles
+
+    def _lookup_task(self, descriptor_address: int) -> int:
+        task_id = self.tat.lookup(descriptor_address)
+        if task_id is None:
+            raise UnknownTaskError(
+                f"task descriptor {descriptor_address:#x} is not tracked by the DMU"
+            )
+        return task_id
+
+    # ------------------------------------------------------------------ create_task
+    def create_task(self, descriptor_address: int) -> CreateOutcome:
+        """Register a new task (ISA ``create_task``).
+
+        Allocates a TAT entry / internal task ID, initializes the Task Table
+        entry and reserves an empty successor list and dependence list.
+        """
+        if descriptor_address in self.tat:
+            raise DMUProtocolError(
+                f"task descriptor {descriptor_address:#x} created twice"
+            )
+        # Capacity pre-check: TAT way + ID, one SLA entry, one DLA entry.
+        if not self.tat.can_allocate(descriptor_address):
+            self.stats.record_blocked(TAT)
+            return DMUBlocked(TAT)
+        if self.successor_lists.free_entries < 1:
+            self.stats.record_blocked(SLA)
+            return DMUBlocked(SLA)
+        if self.dependence_lists.free_entries < 1:
+            self.stats.record_blocked(DLA)
+            return DMUBlocked(DLA)
+
+        accesses = 0
+        task_id = self.tat.allocate(descriptor_address)
+        accesses += 2  # associative lookup + directory write
+        self.stats.record_access(TAT, 2)
+        successor_list, sla_accesses = self.successor_lists.new_list()
+        accesses += sla_accesses
+        self.stats.record_access(SLA, sla_accesses)
+        dependence_list, dla_accesses = self.dependence_lists.new_list()
+        accesses += dla_accesses
+        self.stats.record_access(DLA, dla_accesses)
+        self.task_table.install(
+            task_id,
+            TaskTableEntry(
+                descriptor_address=descriptor_address,
+                predecessor_count=0,
+                successor_count=0,
+                successor_list=successor_list,
+                dependence_list=dependence_list,
+            ),
+        )
+        accesses += 1
+        self.stats.record_access(TASK_TABLE, 1)
+        self._descriptor_of_task[task_id] = descriptor_address
+
+        cycles = self._cycles(accesses)
+        self.stats.record_instruction("create_task", cycles)
+        self.stats.tasks_created += 1
+        return CreateTaskResult(cycles=cycles, task_id=task_id)
+
+    # ------------------------------------------------------------------ add_dependence
+    def add_dependence(
+        self,
+        descriptor_address: int,
+        dependence_address: int,
+        size: int,
+        direction: str,
+    ) -> AddDependenceOutcome:
+        """Register one dependence of a task (ISA ``add_dependence``).
+
+        Implements Algorithm 1 of the paper with exact capacity pre-checks so
+        a blocked instruction leaves no partial state behind.
+        """
+        if direction not in ("in", "out"):
+            raise DMUProtocolError(f"invalid dependence direction: {direction!r}")
+        task_id = self._lookup_task(descriptor_address)
+        task_entry = self.task_table.get(task_id)
+
+        dep_id = self.dat.lookup(dependence_address)
+        dep_is_new = dep_id is None
+        dep_entry: Optional[DependenceTableEntry] = None
+        readers: list[int] = []
+        if not dep_is_new:
+            dep_entry = self.dependence_table.get(dep_id)
+            if dep_entry.reader_list >= 0:
+                readers, _ = self.reader_lists.iterate(dep_entry.reader_list)
+
+        blocked = self._add_dependence_capacity_check(
+            task_id, task_entry, dep_is_new, dep_entry, readers, dependence_address, size, direction
+        )
+        if blocked is not None:
+            return blocked
+
+        accesses = 2  # TAT lookup + Task Table read performed above
+        self.stats.record_access(TAT, 1)
+        self.stats.record_access(TASK_TABLE, 1)
+
+        # DAT lookup (+ allocation and Dependence Table install on a miss).
+        accesses += 1
+        self.stats.record_access(DAT, 1)
+        if dep_is_new:
+            dep_id = self.dat.allocate(dependence_address, size)
+            accesses += 1
+            self.stats.record_access(DAT, 1)
+            dep_entry = DependenceTableEntry()
+            self.dependence_table.install(dep_id, dep_entry)
+            accesses += 1
+            self.stats.record_access(DEP_TABLE, 1)
+            self._address_of_dependence[dep_id] = (dependence_address, size)
+        else:
+            accesses += 1
+            self.stats.record_access(DEP_TABLE, 1)
+        assert dep_entry is not None and dep_id is not None
+
+        predecessors_added = 0
+
+        # "Insert depID in dependence list of taskID"
+        dla_accesses = self.dependence_lists.append(task_entry.dependence_list, dep_id)
+        accesses += dla_accesses
+        self.stats.record_access(DLA, dla_accesses)
+
+        # "if lastWriterID of depID is valid": RAW / WAW / WAR-with-writer edge.
+        if dep_entry.last_writer_valid and dep_entry.last_writer != task_id:
+            writer_id = dep_entry.last_writer
+            writer_entry = self.task_table.get(writer_id)
+            sla_accesses = self.successor_lists.append(writer_entry.successor_list, task_id)
+            accesses += sla_accesses + 2  # successor insert + two counter updates
+            self.stats.record_access(SLA, sla_accesses)
+            self.stats.record_access(TASK_TABLE, 2)
+            writer_entry.successor_count += 1
+            task_entry.predecessor_count += 1
+            predecessors_added += 1
+
+        if direction == "in":
+            # "Insert taskID in reader list of depID"
+            if dep_entry.reader_list < 0:
+                reader_list, rla_accesses = self.reader_lists.new_list()
+                dep_entry.reader_list = reader_list
+                accesses += rla_accesses
+                self.stats.record_access(RLA, rla_accesses)
+            rla_accesses = self.reader_lists.append(dep_entry.reader_list, task_id)
+            accesses += rla_accesses
+            self.stats.record_access(RLA, rla_accesses)
+        else:
+            # WAR edges: every current reader gains this task as a successor.
+            for reader_id in readers:
+                if reader_id == task_id:
+                    continue
+                reader_entry = self.task_table.get(reader_id)
+                sla_accesses = self.successor_lists.append(reader_entry.successor_list, task_id)
+                accesses += sla_accesses + 2
+                self.stats.record_access(SLA, sla_accesses)
+                self.stats.record_access(TASK_TABLE, 2)
+                reader_entry.successor_count += 1
+                task_entry.predecessor_count += 1
+                predecessors_added += 1
+            # "Flush reader list of depID"
+            if dep_entry.reader_list >= 0:
+                rla_accesses = self.reader_lists.flush(dep_entry.reader_list)
+                accesses += rla_accesses
+                self.stats.record_access(RLA, rla_accesses)
+            # "Set lastWriterID of depID to taskID and mark valid"
+            dep_entry.set_last_writer(task_id)
+            accesses += 1
+            self.stats.record_access(DEP_TABLE, 1)
+
+        self.dat.sample_occupancy()
+        cycles = self._cycles(accesses)
+        self.stats.record_instruction("add_dependence", cycles)
+        self.stats.dependences_added += 1
+        return AddDependenceResult(
+            cycles=cycles, dependence_id=dep_id, predecessors_added=predecessors_added
+        )
+
+    def _add_dependence_capacity_check(
+        self,
+        task_id: int,
+        task_entry: TaskTableEntry,
+        dep_is_new: bool,
+        dep_entry: Optional[DependenceTableEntry],
+        readers: list[int],
+        dependence_address: int,
+        size: int,
+        direction: str,
+    ) -> Optional[DMUBlocked]:
+        """Return a :class:`DMUBlocked` if the operation could not complete."""
+        if dep_is_new and not self.dat.can_allocate(dependence_address, size):
+            self.stats.record_blocked(DAT)
+            return DMUBlocked(DAT)
+
+        needed_dla = 1 if self.dependence_lists.appending_needs_new_entry(task_entry.dependence_list) else 0
+        if self.dependence_lists.free_entries < needed_dla:
+            self.stats.record_blocked(DLA)
+            return DMUBlocked(DLA)
+
+        needed_sla = 0
+        if dep_entry is not None and dep_entry.last_writer_valid and dep_entry.last_writer != task_id:
+            writer_entry = self.task_table.get(dep_entry.last_writer)
+            if self.successor_lists.appending_needs_new_entry(writer_entry.successor_list):
+                needed_sla += 1
+        if direction == "out":
+            for reader_id in readers:
+                if reader_id == task_id:
+                    continue
+                reader_entry = self.task_table.get(reader_id)
+                if self.successor_lists.appending_needs_new_entry(reader_entry.successor_list):
+                    needed_sla += 1
+        if self.successor_lists.free_entries < needed_sla:
+            self.stats.record_blocked(SLA)
+            return DMUBlocked(SLA)
+
+        needed_rla = 0
+        if direction == "in":
+            if dep_entry is None or dep_entry.reader_list < 0:
+                needed_rla = 1
+            elif self.reader_lists.appending_needs_new_entry(dep_entry.reader_list):
+                needed_rla = 1
+        if self.reader_lists.free_entries < needed_rla:
+            self.stats.record_blocked(RLA)
+            return DMUBlocked(RLA)
+        return None
+
+    # ------------------------------------------------------------------ creation completion
+    def complete_creation(self, descriptor_address: int) -> CompleteCreationResult:
+        """Mark a task's registration complete; enqueue it if already ready."""
+        task_id = self._lookup_task(descriptor_address)
+        entry = self.task_table.get(task_id)
+        if entry.creation_complete:
+            raise DMUProtocolError(
+                f"task descriptor {descriptor_address:#x} completed creation twice"
+            )
+        entry.creation_complete = True
+        accesses = 2  # TAT lookup + Task Table read/update
+        self.stats.record_access(TAT, 1)
+        self.stats.record_access(TASK_TABLE, 1)
+        became_ready = False
+        if entry.predecessor_count == 0:
+            self.ready_queue.push(task_id)
+            accesses += 1
+            self.stats.record_access(READY_QUEUE, 1)
+            became_ready = True
+        cycles = self._cycles(accesses)
+        self.stats.record_instruction("complete_creation", cycles)
+        return CompleteCreationResult(cycles=cycles, became_ready=became_ready)
+
+    # ------------------------------------------------------------------ finish_task
+    def finish_task(self, descriptor_address: int) -> FinishTaskResult:
+        """Retire a finished task (ISA ``finish_task``); Algorithm 2 of the paper."""
+        task_id = self._lookup_task(descriptor_address)
+        entry = self.task_table.get(task_id)
+        accesses = 2  # TAT lookup + Task Table read
+        self.stats.record_access(TAT, 1)
+        self.stats.record_access(TASK_TABLE, 1)
+        tasks_woken = 0
+
+        # First loop: wake up successors.
+        successors, sla_accesses = self.successor_lists.iterate(entry.successor_list)
+        accesses += sla_accesses
+        self.stats.record_access(SLA, sla_accesses)
+        for successor_id in successors:
+            successor_entry = self.task_table.get(successor_id)
+            accesses += 1
+            self.stats.record_access(TASK_TABLE, 1)
+            successor_entry.predecessor_count -= 1
+            if successor_entry.predecessor_count < 0:
+                raise DMUProtocolError(
+                    f"task id {successor_id} predecessor count went negative"
+                )
+            if successor_entry.predecessor_count == 0 and successor_entry.creation_complete:
+                self.ready_queue.push(successor_id)
+                accesses += 1
+                self.stats.record_access(READY_QUEUE, 1)
+                tasks_woken += 1
+
+        # Second loop: clean this task out of its dependences.
+        dependences, dla_accesses = self.dependence_lists.iterate(entry.dependence_list)
+        accesses += dla_accesses
+        self.stats.record_access(DLA, dla_accesses)
+        for dep_id in dependences:
+            if not self.dependence_table.is_valid(dep_id):
+                # The dependence entry was already recycled by an earlier
+                # occurrence of the same address in this task's list.
+                continue
+            dep_entry = self.dependence_table.get(dep_id)
+            accesses += 1
+            self.stats.record_access(DEP_TABLE, 1)
+            if dep_entry.reader_list >= 0:
+                _found, rla_accesses = self.reader_lists.remove(dep_entry.reader_list, task_id)
+                accesses += rla_accesses
+                self.stats.record_access(RLA, rla_accesses)
+            if dep_entry.last_writer_valid and dep_entry.last_writer == task_id:
+                dep_entry.invalidate_last_writer()
+                accesses += 1
+                self.stats.record_access(DEP_TABLE, 1)
+            reader_list_empty = (
+                dep_entry.reader_list < 0 or self.reader_lists.is_empty(dep_entry.reader_list)
+            )
+            if not dep_entry.last_writer_valid and reader_list_empty:
+                if dep_entry.reader_list >= 0:
+                    rla_accesses = self.reader_lists.free_list(dep_entry.reader_list)
+                    accesses += rla_accesses
+                    self.stats.record_access(RLA, rla_accesses)
+                self.dependence_table.free(dep_id)
+                accesses += 1
+                self.stats.record_access(DEP_TABLE, 1)
+                address, _size = self._address_of_dependence.pop(dep_id)
+                self.dat.release(address)
+                accesses += 1
+                self.stats.record_access(DAT, 1)
+
+        # Free the task's own resources.
+        sla_free_accesses = self.successor_lists.free_list(entry.successor_list)
+        accesses += sla_free_accesses
+        self.stats.record_access(SLA, sla_free_accesses)
+        dla_free_accesses = self.dependence_lists.free_list(entry.dependence_list)
+        accesses += dla_free_accesses
+        self.stats.record_access(DLA, dla_free_accesses)
+        self.task_table.free(task_id)
+        accesses += 1
+        self.stats.record_access(TASK_TABLE, 1)
+        self.tat.release(descriptor_address)
+        accesses += 1
+        self.stats.record_access(TAT, 1)
+        self._descriptor_of_task.pop(task_id, None)
+
+        cycles = self._cycles(accesses)
+        self.stats.record_instruction("finish_task", cycles)
+        self.stats.tasks_finished += 1
+        return FinishTaskResult(cycles=cycles, tasks_woken=tasks_woken)
+
+    # ------------------------------------------------------------------ get_ready_task
+    def get_ready_task(self) -> GetReadyTaskResult:
+        """Pop the next ready task (ISA ``get_ready_task``)."""
+        accesses = 1  # Ready Queue access
+        self.stats.record_access(READY_QUEUE, 1)
+        task_id = self.ready_queue.pop()
+        if task_id is None:
+            cycles = self._cycles(accesses)
+            self.stats.record_instruction("get_ready_task", cycles)
+            self.stats.null_ready_pops += 1
+            return GetReadyTaskResult(cycles=cycles, descriptor_address=None)
+        entry = self.task_table.get(task_id)
+        accesses += 1
+        self.stats.record_access(TASK_TABLE, 1)
+        cycles = self._cycles(accesses)
+        self.stats.record_instruction("get_ready_task", cycles)
+        self.stats.ready_pops += 1
+        return GetReadyTaskResult(
+            cycles=cycles,
+            descriptor_address=entry.descriptor_address,
+            num_successors=entry.successor_count,
+        )
+
+    # ------------------------------------------------------------------ introspection
+    def capacity_snapshot(self) -> Dict[str, int]:
+        """Free-entry counts per structure (used by tests and debugging)."""
+        return {
+            TAT: self.tat.free_entries,
+            DAT: self.dat.free_entries,
+            SLA: self.successor_lists.free_entries,
+            DLA: self.dependence_lists.free_entries,
+            RLA: self.reader_lists.free_entries,
+        }
+
+    def assert_empty(self) -> None:
+        """Raise unless every structure has been drained (all tasks finished)."""
+        problems = []
+        if self.task_table.occupancy:
+            problems.append(f"{self.task_table.occupancy} task entries")
+        if self.dependence_table.occupancy:
+            problems.append(f"{self.dependence_table.occupancy} dependence entries")
+        if self.successor_lists.entries_in_use:
+            problems.append(f"{self.successor_lists.entries_in_use} SLA entries")
+        if self.dependence_lists.entries_in_use:
+            problems.append(f"{self.dependence_lists.entries_in_use} DLA entries")
+        if self.reader_lists.entries_in_use:
+            problems.append(f"{self.reader_lists.entries_in_use} RLA entries")
+        if len(self.ready_queue):
+            problems.append(f"{len(self.ready_queue)} ready-queue entries")
+        if problems:
+            raise DMUProtocolError("DMU not empty at end of program: " + ", ".join(problems))

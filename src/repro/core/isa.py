@@ -1,0 +1,110 @@
+"""Result types of the four TDM ISA instructions.
+
+The runtime system communicates with the DMU through four new ISA
+instructions (Section III-A of the paper): ``create_task``,
+``add_dependence``, ``finish_task`` and ``get_ready_task``.  In this model an
+instruction is a method call on :class:`~repro.core.dmu.DependenceManagementUnit`
+that returns one of the result objects below.  Every result carries the number
+of DMU cycles the operation consumed (one cycle per SRAM access times the
+configured access latency); the simulator adds issue and NoC latencies on top.
+
+When a DMU structure has no free entry the instruction cannot make progress;
+instead of mutating state partially the DMU returns :class:`DMUBlocked`, and
+the simulated core retries once capacity is freed (the paper gives the ISA
+instructions blocking/barrier semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DMUBlocked:
+    """The instruction would block: ``structure`` has no free entry."""
+
+    structure: str
+    cycles: int = 0
+
+    @property
+    def blocked(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class CreateTaskResult:
+    """Outcome of ``create_task(task_desc)``."""
+
+    cycles: int
+    task_id: int
+
+    @property
+    def blocked(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class AddDependenceResult:
+    """Outcome of ``add_dependence(task_desc, dep_addr, size, direction)``."""
+
+    cycles: int
+    dependence_id: int
+    predecessors_added: int
+
+    @property
+    def blocked(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class CompleteCreationResult:
+    """Outcome of the creation-completion step.
+
+    The paper's Algorithms only enqueue tasks into the Ready Queue from
+    ``finish_task``; a task whose dependences are all already satisfied when
+    it is created would otherwise never become ready.  This model therefore
+    marks the end of a task's registration (conceptually folded into the last
+    ``add_dependence`` / the ``create_task`` of a dependence-free task) and
+    pushes the task to the Ready Queue when its predecessor count is zero.
+    """
+
+    cycles: int
+    became_ready: bool
+
+    @property
+    def blocked(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class FinishTaskResult:
+    """Outcome of ``finish_task(task_desc)``."""
+
+    cycles: int
+    tasks_woken: int
+
+    @property
+    def blocked(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class GetReadyTaskResult:
+    """Outcome of ``get_ready_task()``.
+
+    ``descriptor_address`` is ``None`` when the Ready Queue is empty (the
+    hardware returns a null pointer).
+    """
+
+    cycles: int
+    descriptor_address: Optional[int]
+    num_successors: int = 0
+
+    @property
+    def blocked(self) -> bool:
+        return False
+
+    @property
+    def is_null(self) -> bool:
+        return self.descriptor_address is None

@@ -1,0 +1,228 @@
+"""Inode-style list arrays (Figure 5 of the paper).
+
+A list array is an SRAM that stores many variable-length lists of small IDs.
+Each entry holds a fixed number of element slots plus a ``Next`` field that
+points to the entry where the list continues; the ``Next`` field of the last
+entry points to the entry itself.  Invalid element slots hold an all-ones
+marker.
+
+The DMU uses three list arrays: the Successor List Array (task IDs), the
+Dependence List Array (dependence IDs) and the Reader List Array (task IDs).
+They share this implementation.
+
+Every method returns the number of SRAM entry accesses it performed so the
+DMU can charge the corresponding latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import DMUStructureFullError
+
+#: Marker stored in unused element slots ("Invalid elements are set to all ones").
+INVALID_ELEMENT = 0xFFF
+
+
+@dataclass
+class _ListEntry:
+    """One SRAM entry: element slots plus the Next pointer."""
+
+    elements: List[int]
+    next_index: int
+    in_use: bool = False
+
+    def count(self) -> int:
+        return sum(1 for element in self.elements if element != INVALID_ELEMENT)
+
+    def is_full(self) -> bool:
+        return all(element != INVALID_ELEMENT for element in self.elements)
+
+    def clear_elements(self) -> None:
+        for slot in range(len(self.elements)):
+            self.elements[slot] = INVALID_ELEMENT
+
+
+class ListArray:
+    """A pool of inode-style linked lists with explicit capacity accounting."""
+
+    def __init__(self, name: str, num_entries: int, elements_per_entry: int) -> None:
+        if num_entries < 1:
+            raise ValueError("num_entries must be >= 1")
+        if elements_per_entry < 1:
+            raise ValueError("elements_per_entry must be >= 1")
+        self.name = name
+        self.num_entries = num_entries
+        self.elements_per_entry = elements_per_entry
+        # Entry objects are materialized lazily so that very large (or
+        # "ideal", effectively unlimited) configurations cost nothing until
+        # entries are actually used.  ``_entries`` only holds entries that are
+        # currently in use or have been used before (recycled).
+        self._entries: dict[int, _ListEntry] = {}
+        self._recycled: List[int] = []
+        self._next_fresh_index = 0
+        self.peak_entries_used = 0
+        self._in_use = 0
+
+    # ------------------------------------------------------------------ capacity
+    @property
+    def free_entries(self) -> int:
+        """Number of SRAM entries not currently assigned to any list."""
+        return self.num_entries - self._in_use
+
+    @property
+    def entries_in_use(self) -> int:
+        return self._in_use
+
+    def _allocate_entry(self) -> int:
+        if self._in_use >= self.num_entries:
+            raise DMUStructureFullError(self.name)
+        if self._recycled:
+            index = self._recycled.pop()
+        else:
+            index = self._next_fresh_index
+            self._next_fresh_index += 1
+            self._entries[index] = _ListEntry(
+                [INVALID_ELEMENT] * self.elements_per_entry, next_index=index
+            )
+        entry = self._entries[index]
+        entry.in_use = True
+        entry.clear_elements()
+        entry.next_index = index
+        self._in_use += 1
+        self.peak_entries_used = max(self.peak_entries_used, self._in_use)
+        return index
+
+    def _release_entry(self, index: int) -> None:
+        entry = self._entries[index]
+        entry.in_use = False
+        entry.clear_elements()
+        entry.next_index = index
+        self._in_use -= 1
+        self._recycled.append(index)
+
+    # ------------------------------------------------------------------ list API
+    def new_list(self) -> Tuple[int, int]:
+        """Allocate an empty list; returns ``(head_index, accesses)``."""
+        head = self._allocate_entry()
+        return head, 1
+
+    def appending_needs_new_entry(self, head: int) -> bool:
+        """True when appending one element to the list would allocate an entry."""
+        tail = self._tail_index(head)
+        return self._entries[tail].is_full()
+
+    def append(self, head: int, value: int) -> int:
+        """Append ``value`` to the list starting at ``head``; returns accesses.
+
+        Raises :class:`DMUStructureFullError` when a new entry is needed and
+        the array is exhausted; the caller is expected to have checked
+        capacity first (the DMU pre-checks before mutating any structure).
+        """
+        if value == INVALID_ELEMENT:
+            raise ValueError("cannot store the invalid-element marker")
+        accesses = 0
+        index = head
+        while True:
+            accesses += 1
+            entry = self._entries[index]
+            if not entry.is_full():
+                for slot, element in enumerate(entry.elements):
+                    if element == INVALID_ELEMENT:
+                        entry.elements[slot] = value
+                        return accesses
+            if entry.next_index == index:
+                new_index = self._allocate_entry()
+                accesses += 1
+                entry.next_index = new_index
+                self._entries[new_index].elements[0] = value
+                return accesses
+            index = entry.next_index
+
+    def iterate(self, head: int) -> Tuple[List[int], int]:
+        """Return ``(values, accesses)`` for the whole list."""
+        values: List[int] = []
+        accesses = 0
+        for index in self._walk(head):
+            accesses += 1
+            entry = self._entries[index]
+            values.extend(element for element in entry.elements if element != INVALID_ELEMENT)
+        return values, accesses
+
+    def remove(self, head: int, value: int) -> Tuple[bool, int]:
+        """Remove the first occurrence of ``value``; returns ``(found, accesses)``."""
+        accesses = 0
+        for index in self._walk(head):
+            accesses += 1
+            entry = self._entries[index]
+            for slot, element in enumerate(entry.elements):
+                if element == value:
+                    entry.elements[slot] = INVALID_ELEMENT
+                    return True, accesses
+        return False, accesses
+
+    def flush(self, head: int) -> int:
+        """Empty the list (keeping its head entry allocated); returns accesses.
+
+        Used for "Flush reader list of depID" in Algorithm 1.
+        """
+        accesses = 0
+        chain = list(self._walk(head))
+        for index in chain:
+            accesses += 1
+        for index in chain[1:]:
+            self._release_entry(index)
+        head_entry = self._entries[head]
+        head_entry.clear_elements()
+        head_entry.next_index = head
+        return accesses
+
+    def free_list(self, head: int) -> int:
+        """Release every entry of the list; returns accesses."""
+        accesses = 0
+        for index in list(self._walk(head)):
+            accesses += 1
+            self._release_entry(index)
+        return accesses
+
+    def length(self, head: int) -> int:
+        """Number of valid elements in the list (no access accounting)."""
+        return sum(self._entries[index].count() for index in self._walk(head))
+
+    def is_empty(self, head: int) -> bool:
+        """True when the list holds no valid element."""
+        return self.length(head) == 0
+
+    def entries_of(self, head: int) -> int:
+        """Number of SRAM entries the list currently spans."""
+        return sum(1 for _ in self._walk(head))
+
+    # ------------------------------------------------------------------ internals
+    def _walk(self, head: int) -> Iterator[int]:
+        index = head
+        visited = 0
+        while True:
+            entry = self._entries[index]
+            if not entry.in_use:
+                raise ValueError(f"{self.name}: list head {head} references a free entry")
+            yield index
+            visited += 1
+            if visited > self.num_entries:
+                raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
+            if entry.next_index == index:
+                return
+            index = entry.next_index
+
+    def _tail_index(self, head: int) -> int:
+        tail: Optional[int] = None
+        for index in self._walk(head):
+            tail = index
+        assert tail is not None
+        return tail
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ListArray({self.name!r}, {self.entries_in_use}/{self.num_entries} entries, "
+            f"{self.elements_per_entry} elems/entry)"
+        )

@@ -1,0 +1,78 @@
+"""The Task Table: direct-access SRAM indexed by internal task IDs.
+
+Each entry (Figure 4 of the paper) holds the task-descriptor address, the
+predecessor and successor counters, and pointers to the task's successor list
+and dependence list in the corresponding list arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import DMUProtocolError
+
+
+@dataclass
+class TaskTableEntry:
+    """One in-flight task tracked by the DMU."""
+
+    descriptor_address: int
+    predecessor_count: int = 0
+    successor_count: int = 0
+    successor_list: int = -1
+    dependence_list: int = -1
+    creation_complete: bool = False
+    valid: bool = True
+
+
+class TaskTable:
+    """Direct-access table of in-flight tasks."""
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries < 1:
+            raise ValueError("num_entries must be >= 1")
+        self.num_entries = num_entries
+        self._entries: List[Optional[TaskTableEntry]] = [None] * num_entries
+        self.peak_occupancy = 0
+        self._occupancy = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid entries currently held."""
+        return self._occupancy
+
+    def install(self, task_id: int, entry: TaskTableEntry) -> None:
+        """Initialize the entry for ``task_id`` (create_task)."""
+        self._check_id(task_id)
+        if self._entries[task_id] is not None:
+            raise DMUProtocolError(f"Task Table entry {task_id} is already in use")
+        self._entries[task_id] = entry
+        self._occupancy += 1
+        self.peak_occupancy = max(self.peak_occupancy, self._occupancy)
+
+    def get(self, task_id: int) -> TaskTableEntry:
+        """Read the entry for ``task_id``."""
+        self._check_id(task_id)
+        entry = self._entries[task_id]
+        if entry is None:
+            raise DMUProtocolError(f"Task Table entry {task_id} is not valid")
+        return entry
+
+    def free(self, task_id: int) -> None:
+        """Invalidate the entry for ``task_id`` (finish_task)."""
+        self._check_id(task_id)
+        if self._entries[task_id] is None:
+            raise DMUProtocolError(f"Task Table entry {task_id} is already free")
+        self._entries[task_id] = None
+        self._occupancy -= 1
+
+    def is_valid(self, task_id: int) -> bool:
+        self._check_id(task_id)
+        return self._entries[task_id] is not None
+
+    def _check_id(self, task_id: int) -> None:
+        if not (0 <= task_id < self.num_entries):
+            raise DMUProtocolError(
+                f"task id {task_id} out of range [0, {self.num_entries})"
+            )

@@ -1,0 +1,39 @@
+"""Experiment harnesses: one module per table / figure of the paper.
+
+Every module exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.common.ExperimentResult` whose rows mirror the
+series the paper plots, plus the paper's own numbers where the text states
+them, so that EXPERIMENTS.md can record paper-vs-measured side by side.
+
+The mapping from paper artifact to module:
+
+===========  ======================================================
+Artifact     Module
+===========  ======================================================
+Figure 2     :mod:`repro.experiments.fig02_breakdown`
+Figure 6     :mod:`repro.experiments.fig06_granularity`
+Table II     :mod:`repro.experiments.table02_characteristics`
+Figure 7     :mod:`repro.experiments.fig07_tat_dat`
+Figure 8     :mod:`repro.experiments.fig08_list_arrays`
+Figure 9     :mod:`repro.experiments.fig09_latency`
+Table III    :mod:`repro.experiments.table03_area`
+Figure 10    :mod:`repro.experiments.fig10_creation_time`
+Figure 11    :mod:`repro.experiments.fig11_dat_occupancy`
+Figure 12    :mod:`repro.experiments.fig12_schedulers`
+Figure 13    :mod:`repro.experiments.fig13_comparison`
+===========  ======================================================
+
+Use :func:`repro.experiments.registry.run_experiment` (or the ``tdm-repro``
+command-line tool) to run them by name.
+"""
+
+from .common import ExperimentResult, SimulationRunner
+from .registry import available_experiments, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "SimulationRunner",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+]

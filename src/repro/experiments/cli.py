@@ -1,0 +1,96 @@
+"""Command-line entry point: ``tdm-repro``.
+
+Examples::
+
+    # Reproduce Figure 12 at 30% problem scale and print the Markdown table
+    tdm-repro figure_12 --scale 0.3
+
+    # Reproduce Table III (no simulation needed)
+    tdm-repro table_03
+
+    # Run the full campaign and write one Markdown file per experiment
+    tdm-repro all --scale 0.2 --output results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from .common import SimulationRunner
+from .registry import available_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tdm-repro",
+        description="Reproduce the tables and figures of the TDM paper (HPCA 2018).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (e.g. figure_12, table_03) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="problem scale in (0, 1]; 1.0 reproduces the paper's task counts",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        default=None,
+        help="subset of benchmarks to run (default: the experiment's own set)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write Markdown/CSV results into (default: print to stdout)",
+    )
+    parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="also write CSV files when --output is used",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list available experiments and exit",
+    )
+    parser.add_argument("--verbose", action="store_true", help="print each simulation as it runs")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in available_experiments():
+            print(name)
+        return 0
+
+    names = available_experiments() if args.experiment.lower() == "all" else [args.experiment]
+    runner = SimulationRunner(scale=args.scale, verbose=args.verbose)
+
+    exit_code = 0
+    for name in names:
+        result = run_experiment(name, scale=args.scale, benchmarks=args.benchmarks, runner=runner)
+        if args.output is None:
+            print(result.to_markdown())
+            continue
+        args.output.mkdir(parents=True, exist_ok=True)
+        markdown_path = args.output / f"{result.experiment}.md"
+        markdown_path.write_text(result.to_markdown(), encoding="utf-8")
+        if args.csv:
+            csv_path = args.output / f"{result.experiment}.csv"
+            csv_path.write_text(result.to_csv(), encoding="utf-8")
+        print(f"wrote {markdown_path}")
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution hook
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""Shared infrastructure of the experiment harnesses.
+
+:class:`SimulationRunner` runs (workload, runtime, scheduler, configuration)
+combinations and memoizes the results so that experiments which share runs —
+for example the software FIFO baseline every figure normalizes to — do not
+simulate them twice.
+
+:class:`ExperimentResult` is the uniform output format: named rows (one per
+plotted bar/point), free-form notes, and renderers for Markdown and CSV used
+by EXPERIMENTS.md and the command-line tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..analysis.metrics import geometric_mean
+from ..config import DMUConfig, SimulationConfig, default_paper_config
+from ..errors import ExperimentError
+from ..sim.machine import SimulationResult, run_simulation
+from ..workloads.registry import PAPER_BENCHMARKS, create_workload
+
+#: Scheduler names swept by the scheduling-flexibility experiments.
+SCHEDULERS = ("fifo", "lifo", "locality", "successor", "age")
+
+#: Default scheduler used when a single software policy is needed.
+BASELINE_SCHEDULER = "fifo"
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Cache key identifying one simulation."""
+
+    benchmark: str
+    runtime: str
+    scheduler: str
+    scale: float
+    granularity: Optional[int]
+    config_token: str
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result container for every experiment harness."""
+
+    experiment: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Mapping[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    paper_reference: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column_values(self, column: str) -> List[object]:
+        return [row.get(column) for row in self.rows]
+
+    def row_for(self, **match: object) -> Mapping[str, object]:
+        """First row whose fields match all the given key/value pairs."""
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in match.items()):
+                return row
+        raise KeyError(f"no row matching {match} in {self.experiment}")
+
+    # ------------------------------------------------------------------ rendering
+    def to_markdown(self) -> str:
+        """Render the result as a Markdown section with a table."""
+        lines = [f"### {self.title}", ""]
+        header = "| " + " | ".join(self.columns) + " |"
+        separator = "| " + " | ".join("---" for _ in self.columns) + " |"
+        lines.extend([header, separator])
+        for row in self.rows:
+            cells = [self._format(row.get(column)) for column in self.columns]
+            lines.append("| " + " | ".join(cells) + " |")
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"- {note}")
+        lines.append("")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render the rows as CSV text."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(self.columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({column: row.get(column) for column in self.columns})
+        return buffer.getvalue()
+
+    @staticmethod
+    def _format(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        if value is None:
+            return ""
+        return str(value)
+
+
+class SimulationRunner:
+    """Runs and memoizes benchmark simulations for the experiment harnesses."""
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        base_config: Optional[SimulationConfig] = None,
+        seed: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        if not (0.0 < scale <= 1.0):
+            raise ExperimentError(f"scale must be in (0, 1], got {scale}")
+        self.scale = scale
+        self.seed = seed
+        self.verbose = verbose
+        self.base_config = base_config or default_paper_config()
+        self._cache: Dict[RunKey, SimulationResult] = {}
+
+    # ------------------------------------------------------------------ config helpers
+    def config_for(
+        self,
+        runtime: str,
+        scheduler: str = BASELINE_SCHEDULER,
+        dmu: Optional[DMUConfig] = None,
+    ) -> SimulationConfig:
+        config = replace(self.base_config, runtime=runtime, scheduler=scheduler)
+        if dmu is not None:
+            config = replace(config, dmu=dmu)
+        return config.validated()
+
+    @staticmethod
+    def _config_token(config: SimulationConfig) -> str:
+        dmu = config.dmu
+        return (
+            f"{dmu.tat_entries}/{dmu.dat_entries}/{dmu.successor_list_entries}/"
+            f"{dmu.dependence_list_entries}/{dmu.reader_list_entries}/"
+            f"{dmu.access_cycles}/{dmu.index_selection}/{dmu.static_index_start_bit}/"
+            f"{config.chip.num_cores}"
+        )
+
+    # ------------------------------------------------------------------ running
+    def run(
+        self,
+        benchmark: str,
+        runtime: str,
+        scheduler: str = BASELINE_SCHEDULER,
+        granularity: Optional[int] = None,
+        dmu: Optional[DMUConfig] = None,
+        granularity_runtime: Optional[str] = None,
+    ) -> SimulationResult:
+        """Run one benchmark under one runtime/scheduler/DMU configuration.
+
+        Unless ``granularity`` is given, the workload is generated at the
+        optimal granularity of ``granularity_runtime`` (defaulting to the
+        software optimum for the software/Carbon runtimes and the TDM optimum
+        for the DMU-based runtimes, exactly as the paper's evaluation does).
+        """
+        config = self.config_for(runtime, scheduler, dmu)
+        if granularity_runtime is None:
+            granularity_runtime = "tdm" if runtime in ("tdm", "task_superscalar") else "software"
+        key = RunKey(
+            benchmark=benchmark,
+            runtime=runtime,
+            scheduler=config.scheduler if runtime in ("tdm", "software") else runtime,
+            scale=self.scale,
+            granularity=granularity,
+            config_token=self._config_token(config) + f"/{granularity_runtime}",
+        )
+        if key in self._cache:
+            return self._cache[key]
+        workload = create_workload(
+            benchmark,
+            scale=self.scale,
+            granularity=granularity,
+            runtime=granularity_runtime if granularity is None else None,
+            seed=self.seed,
+        )
+        program = workload.build_program()
+        if self.verbose:  # pragma: no cover - console feedback only
+            print(f"[run] {benchmark} runtime={runtime} scheduler={scheduler} tasks={program.num_tasks}")
+        result = run_simulation(program, config)
+        self._cache[key] = result
+        return result
+
+    def software_baseline(self, benchmark: str) -> SimulationResult:
+        """The software-runtime FIFO baseline every figure normalizes to."""
+        return self.run(benchmark, "software", BASELINE_SCHEDULER)
+
+    # ------------------------------------------------------------------ aggregates
+    @staticmethod
+    def geomean(values: Iterable[float]) -> float:
+        return geometric_mean(values)
+
+
+def select_benchmarks(benchmarks: Optional[Sequence[str]]) -> List[str]:
+    """Validate and normalize a benchmark subset (default: all nine)."""
+    if benchmarks is None:
+        return list(PAPER_BENCHMARKS)
+    unknown = [name for name in benchmarks if name not in PAPER_BENCHMARKS]
+    if unknown:
+        raise ExperimentError(f"unknown benchmarks: {', '.join(unknown)}")
+    return list(benchmarks)

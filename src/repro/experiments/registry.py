@@ -1,0 +1,86 @@
+"""Experiment registry: run any table/figure reproduction by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import ExperimentError
+from . import (
+    fig02_breakdown,
+    fig06_granularity,
+    fig07_tat_dat,
+    fig08_list_arrays,
+    fig09_latency,
+    fig10_creation_time,
+    fig11_dat_occupancy,
+    fig12_schedulers,
+    fig13_comparison,
+    table02_characteristics,
+    table03_area,
+)
+from .common import ExperimentResult, SimulationRunner
+
+ExperimentFunction = Callable[..., ExperimentResult]
+
+_EXPERIMENTS: Dict[str, ExperimentFunction] = {
+    "figure_02": fig02_breakdown.run,
+    "figure_06": fig06_granularity.run,
+    "table_02": table02_characteristics.run,
+    "figure_07": fig07_tat_dat.run,
+    "figure_08": fig08_list_arrays.run,
+    "figure_09": fig09_latency.run,
+    "table_03": table03_area.run,
+    "figure_10": fig10_creation_time.run,
+    "figure_11": fig11_dat_occupancy.run,
+    "figure_12": fig12_schedulers.run,
+    "figure_13": fig13_comparison.run,
+}
+
+#: Aliases accepted by the CLI (fig2, fig12, table2, ...).
+_ALIASES: Dict[str, str] = {}
+for _name in list(_EXPERIMENTS):
+    _kind, _, _number = _name.partition("_")
+    _ALIASES[f"{_kind[:3]}{int(_number)}"] = _name
+    _ALIASES[f"{_kind}{int(_number)}"] = _name
+    _ALIASES[_name.replace("_", "")] = _name
+
+
+def available_experiments() -> List[str]:
+    """Names of every reproducible table/figure, in paper order."""
+    return list(_EXPERIMENTS)
+
+
+def get_experiment(name: str) -> ExperimentFunction:
+    """Look up an experiment ``run`` function by name or alias."""
+    key = name.lower()
+    canonical = key if key in _EXPERIMENTS else _ALIASES.get(key)
+    if canonical is None:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {', '.join(available_experiments())}"
+        )
+    return _EXPERIMENTS[canonical]
+
+
+def run_experiment(
+    name: str,
+    scale: float = 1.0,
+    benchmarks: Optional[Sequence[str]] = None,
+    runner: Optional[SimulationRunner] = None,
+    **kwargs: object,
+) -> ExperimentResult:
+    """Run one experiment by name."""
+    function = get_experiment(name)
+    return function(scale=scale, benchmarks=benchmarks, runner=runner, **kwargs)
+
+
+def run_all(
+    scale: float = 1.0,
+    benchmarks: Optional[Sequence[str]] = None,
+    share_runner: bool = True,
+) -> Dict[str, ExperimentResult]:
+    """Run the full campaign (every table and figure), sharing cached runs."""
+    runner = SimulationRunner(scale=scale) if share_runner else None
+    results: Dict[str, ExperimentResult] = {}
+    for name in available_experiments():
+        results[name] = run_experiment(name, scale=scale, benchmarks=benchmarks, runner=runner)
+    return results

@@ -1,0 +1,12 @@
+"""Power, energy and EDP models.
+
+The paper evaluates energy efficiency with McPAT (cores, 22 nm, 0.6 V, clock
+gating) and CACTI (DMU structures).  This package provides the analytical
+substitutes: an activity-based per-core power model driven by the per-thread
+timelines (:mod:`repro.power.energy`) and the per-access energy of the DMU
+structures (computed in :mod:`repro.core.storage` and aggregated here).
+"""
+
+from .energy import ChipEnergyModel, EnergyReport, edp, normalized_edp
+
+__all__ = ["ChipEnergyModel", "EnergyReport", "edp", "normalized_edp"]

@@ -1,0 +1,136 @@
+"""Activity-based chip energy model and EDP metrics.
+
+Each core draws one of three power levels depending on the phase its thread
+is in (from the simulation :class:`~repro.sim.timeline.Timeline`):
+
+* ``EXEC``           — full active power (out-of-order execution of task code),
+* ``DEPS``/``SCHED`` — runtime-system power (mostly pointer chasing and
+  synchronization: lower IPC, hence lower dynamic power than task code),
+* ``IDLE``           — clock-gated idle power.
+
+The uncore (shared L2, NoC) draws a constant power while the chip is on, and
+the DMU adds the energy of its SRAM accesses plus a small leakage component.
+The paper reports the DMU's contribution as "less than 0.01% of the total
+power", which this model reproduces because the DMU performs a few tens of
+accesses per task while the cores run for milliseconds.
+
+Energy is reported in millijoules and EDP in millijoule-seconds; the
+experiments only ever use EDP *ratios*, so the absolute scale does not affect
+the reproduced results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import ChipConfig
+from ..core.stats import DMUStats
+from ..core.storage import DMUStorageModel
+from ..sim.timeline import Phase, Timeline
+from ..units import cycles_to_seconds
+
+#: Leakage power of the DMU SRAM arrays (watts).  Small structures at 22 nm
+#: leak on the order of a few milliwatts.
+DMU_LEAKAGE_WATTS = 0.004
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting of one simulation."""
+
+    execution_seconds: float
+    core_energy_mj: float
+    uncore_energy_mj: float
+    dmu_energy_mj: float
+
+    @property
+    def total_energy_mj(self) -> float:
+        return self.core_energy_mj + self.uncore_energy_mj + self.dmu_energy_mj
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in mJ * s."""
+        return self.total_energy_mj * self.execution_seconds
+
+    @property
+    def average_power_watts(self) -> float:
+        if self.execution_seconds <= 0:
+            return 0.0
+        return self.total_energy_mj / 1000.0 / self.execution_seconds
+
+    @property
+    def dmu_power_fraction(self) -> float:
+        """Fraction of total energy consumed by the DMU."""
+        total = self.total_energy_mj
+        return self.dmu_energy_mj / total if total > 0 else 0.0
+
+
+class ChipEnergyModel:
+    """Computes an :class:`EnergyReport` from a timeline and DMU statistics."""
+
+    def __init__(self, chip: ChipConfig, dmu_storage: Optional[DMUStorageModel] = None) -> None:
+        chip.validate()
+        self.chip = chip
+        self.dmu_storage = dmu_storage
+
+    def core_energy_mj(self, timeline: Timeline) -> float:
+        """Energy of all cores integrated over their per-phase activity."""
+        core = self.chip.core
+        total_joules = 0.0
+        for thread in timeline.threads:
+            exec_seconds = cycles_to_seconds(thread.totals[Phase.EXEC], core.clock_ghz)
+            runtime_seconds = cycles_to_seconds(
+                thread.totals[Phase.DEPS] + thread.totals[Phase.SCHED], core.clock_ghz
+            )
+            accounted = (
+                thread.totals[Phase.EXEC]
+                + thread.totals[Phase.DEPS]
+                + thread.totals[Phase.SCHED]
+                + thread.totals[Phase.IDLE]
+            )
+            # Any unaccounted tail (threads that finished before the end of the
+            # simulation) is charged at idle power.
+            idle_cycles = timeline.end_cycle - accounted + thread.totals[Phase.IDLE]
+            idle_seconds = cycles_to_seconds(max(0, idle_cycles), core.clock_ghz)
+            total_joules += (
+                exec_seconds * core.active_power_watts
+                + runtime_seconds * core.runtime_power_watts
+                + idle_seconds * core.idle_power_watts
+            )
+        return total_joules * 1000.0
+
+    def uncore_energy_mj(self, execution_seconds: float) -> float:
+        return self.chip.uncore_power_watts * execution_seconds * 1000.0
+
+    def dmu_energy_mj(self, dmu_stats: Optional[DMUStats], execution_seconds: float) -> float:
+        """DMU energy: per-access dynamic energy plus leakage."""
+        if self.dmu_storage is None:
+            return 0.0
+        access_energy_pj = self.dmu_storage.average_access_energy_pj()
+        accesses = dmu_stats.total_accesses if dmu_stats is not None else 0
+        dynamic_mj = accesses * access_energy_pj * 1e-9
+        leakage_mj = DMU_LEAKAGE_WATTS * execution_seconds * 1000.0
+        return dynamic_mj + leakage_mj
+
+    def report(self, timeline: Timeline, dmu_stats: Optional[DMUStats] = None) -> EnergyReport:
+        """Full energy report for one finished simulation."""
+        execution_seconds = cycles_to_seconds(timeline.end_cycle, self.chip.clock_ghz)
+        return EnergyReport(
+            execution_seconds=execution_seconds,
+            core_energy_mj=self.core_energy_mj(timeline),
+            uncore_energy_mj=self.uncore_energy_mj(execution_seconds),
+            dmu_energy_mj=self.dmu_energy_mj(dmu_stats, execution_seconds),
+        )
+
+
+def edp(energy_mj: float, delay_seconds: float) -> float:
+    """Energy-delay product."""
+    return energy_mj * delay_seconds
+
+
+def normalized_edp(report: EnergyReport, baseline: EnergyReport) -> float:
+    """EDP of ``report`` normalized to ``baseline`` (values below 1.0 are better)."""
+    if baseline.edp == 0:
+        raise ValueError("baseline EDP is zero; cannot normalize")
+    return report.edp / baseline.edp

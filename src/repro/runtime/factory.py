@@ -1,0 +1,46 @@
+"""Runtime-system factory.
+
+Simulations select the runtime by name through
+:class:`~repro.config.SimulationConfig.runtime`; this module maps those names
+to the concrete classes and instantiates the configured software scheduler
+alongside them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+from ..schedulers.registry import create_scheduler
+from ..sim.engine import Engine
+from ..sim.noc import NocModel
+from .base import RuntimeSystem
+from .carbon import CarbonRuntime
+from .software import SoftwareRuntime
+from .task_superscalar import TaskSuperscalarRuntime
+from .tdm import TDMRuntime
+
+_RUNTIMES: Dict[str, Type[RuntimeSystem]] = {
+    SoftwareRuntime.name: SoftwareRuntime,
+    TDMRuntime.name: TDMRuntime,
+    CarbonRuntime.name: CarbonRuntime,
+    TaskSuperscalarRuntime.name: TaskSuperscalarRuntime,
+}
+
+
+def available_runtimes() -> list[str]:
+    """Names of the runtime-system models evaluated by the library."""
+    return sorted(_RUNTIMES)
+
+
+def create_runtime(config: SimulationConfig, engine: Engine, noc: NocModel) -> RuntimeSystem:
+    """Instantiate the runtime system selected by ``config.runtime``."""
+    try:
+        runtime_class = _RUNTIMES[config.runtime]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown runtime {config.runtime!r}; available: {', '.join(available_runtimes())}"
+        ) from exc
+    scheduler = create_scheduler(config.scheduler)
+    return runtime_class(config, scheduler, engine, noc)

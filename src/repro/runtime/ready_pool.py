@@ -1,0 +1,73 @@
+"""The software pool of ready tasks.
+
+The pool wraps a :class:`~repro.schedulers.base.Scheduler` policy and adds the
+bookkeeping the runtime needs: push/pop counters, the high-water mark, and
+monotonically increasing ready sequence numbers.  The paper's TDM design
+keeps exactly this structure in software ("the runtime system adds the
+returned task descriptor address to a pool of ready tasks"), which is what
+lets any scheduling policy be used without hardware changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..schedulers.base import ReadyEntry, Scheduler
+
+
+class ReadyPool:
+    """Scheduler-backed pool of ready tasks with statistics."""
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self.scheduler = scheduler
+        self.total_pushes = 0
+        self.total_pops = 0
+        self.failed_pops = 0
+        self.peak_size = 0
+        self._ready_seq = 0
+
+    def next_ready_seq(self) -> int:
+        """Monotonic sequence number assigned to entries in push order."""
+        seq = self._ready_seq
+        self._ready_seq += 1
+        return seq
+
+    def push(
+        self,
+        task: object,
+        creation_seq: int,
+        successor_count: int = 0,
+        producer_core: Optional[int] = None,
+    ) -> ReadyEntry:
+        """Create an entry for ``task`` and hand it to the scheduling policy."""
+        entry = ReadyEntry(
+            task=task,
+            creation_seq=creation_seq,
+            ready_seq=self.next_ready_seq(),
+            successor_count=successor_count,
+            producer_core=producer_core,
+        )
+        self.scheduler.push(entry)
+        self.total_pushes += 1
+        self.peak_size = max(self.peak_size, len(self.scheduler))
+        return entry
+
+    def pop(self, core_id: int) -> Optional[ReadyEntry]:
+        """Ask the policy for a task for ``core_id``."""
+        entry = self.scheduler.pop(core_id)
+        if entry is None:
+            self.failed_pops += 1
+        else:
+            self.total_pops += 1
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.scheduler)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.scheduler) == 0
+
+    def peek_available(self) -> bool:
+        """Cheap emptiness check (no cost is charged for it in the simulation)."""
+        return len(self.scheduler) > 0

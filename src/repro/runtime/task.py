@@ -1,0 +1,288 @@
+"""Task, dependence and program abstractions.
+
+A *workload* (see :mod:`repro.workloads`) produces a :class:`TaskProgram`: an
+ordered sequence of :class:`TaskRegion` objects (parallel regions separated
+by barriers), each containing :class:`TaskDefinition` objects in program
+creation order.  Each definition lists its data dependences as
+:class:`DependenceSpec` objects, mirroring the ``depend(in/out/inout: ...)``
+clauses of OpenMP 4.0.
+
+At simulation time the runtime system materializes every definition into a
+:class:`TaskInstance`, which carries the dynamic state (descriptor address,
+predecessor count, successors, timestamps, executing core).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import InvalidProgramError
+
+#: Base virtual address used to fabricate task-descriptor addresses.  The
+#: value is arbitrary; it only needs to look like a 64-bit heap pointer to the
+#: TAT (the paper uses addresses such as 0x8AB0...4600 in Figure 4).
+TASK_DESCRIPTOR_BASE = 0x8AB0_0000_0000
+#: Size of a task descriptor in bytes; descriptor addresses are spaced by it.
+TASK_DESCRIPTOR_STRIDE = 0x140
+
+
+class AccessMode(enum.Enum):
+    """Direction of a data dependence, as annotated by the programmer."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+    @property
+    def is_output(self) -> bool:
+        """True for OUT and INOUT accesses (they make the task the last writer)."""
+        return self in (AccessMode.OUT, AccessMode.INOUT)
+
+    @property
+    def is_input(self) -> bool:
+        """True for IN and INOUT accesses (they read the previous writer's data)."""
+        return self in (AccessMode.IN, AccessMode.INOUT)
+
+
+@dataclass(frozen=True)
+class DependenceSpec:
+    """One ``depend(...)`` clause: a memory region and an access direction."""
+
+    address: int
+    size: int
+    mode: AccessMode
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise InvalidProgramError(f"negative dependence address: {self.address:#x}")
+        if self.size <= 0:
+            raise InvalidProgramError(f"dependence size must be positive, got {self.size}")
+
+    @property
+    def direction(self) -> str:
+        """The direction communicated to the DMU ('in' or 'out').
+
+        The ``add_dependence`` ISA instruction only distinguishes inputs from
+        outputs; an ``inout`` access behaves as an output (it both waits for
+        the previous writer/readers and becomes the new last writer).
+        """
+        return "out" if self.mode.is_output else "in"
+
+
+@dataclass(frozen=True)
+class TaskDefinition:
+    """Static description of one task, as produced by a workload generator."""
+
+    uid: int
+    name: str
+    kind: str
+    work_us: float
+    dependences: Tuple[DependenceSpec, ...] = ()
+    memory_sensitivity: float = 0.0
+    creation_work_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.work_us < 0:
+            raise InvalidProgramError(f"task {self.name}: negative work_us")
+        if not (0.0 <= self.memory_sensitivity <= 1.0):
+            raise InvalidProgramError(f"task {self.name}: memory_sensitivity out of [0, 1]")
+        if self.creation_work_us < 0:
+            raise InvalidProgramError(f"task {self.name}: negative creation_work_us")
+
+    @property
+    def num_dependences(self) -> int:
+        return len(self.dependences)
+
+    @property
+    def input_addresses(self) -> Tuple[int, ...]:
+        """Addresses this task reads (IN and INOUT dependences)."""
+        return tuple(d.address for d in self.dependences if d.mode.is_input)
+
+    @property
+    def all_addresses(self) -> Tuple[int, ...]:
+        """Every dependence address of the task (used by the locality model)."""
+        return tuple(d.address for d in self.dependences)
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task instance inside the runtime system."""
+
+    CREATED = "created"
+    READY = "ready"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+class TaskInstance:
+    """Dynamic runtime state of one task."""
+
+    __slots__ = (
+        "definition",
+        "descriptor_address",
+        "state",
+        "num_predecessors",
+        "successors",
+        "num_successors",
+        "created_cycle",
+        "ready_cycle",
+        "start_cycle",
+        "finish_cycle",
+        "core_id",
+        "producer_core",
+        "region_index",
+    )
+
+    def __init__(self, definition: TaskDefinition, descriptor_address: int, region_index: int = 0) -> None:
+        self.definition = definition
+        self.descriptor_address = descriptor_address
+        self.state = TaskState.CREATED
+        self.num_predecessors = 0
+        self.successors: List["TaskInstance"] = []
+        self.num_successors = 0
+        self.created_cycle: int = 0
+        self.ready_cycle: Optional[int] = None
+        self.start_cycle: Optional[int] = None
+        self.finish_cycle: Optional[int] = None
+        self.core_id: Optional[int] = None
+        self.producer_core: Optional[int] = None
+        self.region_index = region_index
+
+    @property
+    def uid(self) -> int:
+        return self.definition.uid
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def kind(self) -> str:
+        return self.definition.kind
+
+    @property
+    def work_us(self) -> float:
+        return self.definition.work_us
+
+    @property
+    def is_ready(self) -> bool:
+        return self.state == TaskState.READY
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state == TaskState.FINISHED
+
+    def add_successor(self, successor: "TaskInstance") -> None:
+        """Link ``successor`` after this task (mirrors the DMU successor list)."""
+        self.successors.append(successor)
+        self.num_successors += 1
+        successor.num_predecessors += 1
+
+    def mark_ready(self, cycle: int) -> None:
+        self.state = TaskState.READY
+        self.ready_cycle = cycle
+
+    def mark_running(self, cycle: int, core_id: int) -> None:
+        self.state = TaskState.RUNNING
+        self.start_cycle = cycle
+        self.core_id = core_id
+
+    def mark_finished(self, cycle: int) -> None:
+        self.state = TaskState.FINISHED
+        self.finish_cycle = cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskInstance({self.name!r}, state={self.state.value}, "
+            f"preds={self.num_predecessors}, succs={self.num_successors})"
+        )
+
+
+@dataclass(frozen=True)
+class TaskRegion:
+    """A parallel region: tasks created in program order, closed by a barrier."""
+
+    tasks: Tuple[TaskDefinition, ...]
+    name: str = "region"
+    sequential_us_before: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sequential_us_before < 0:
+            raise InvalidProgramError("sequential_us_before must be >= 0")
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def total_work_us(self) -> float:
+        return sum(task.work_us for task in self.tasks)
+
+
+@dataclass(frozen=True)
+class TaskProgram:
+    """A complete task-parallel program: regions executed back to back."""
+
+    name: str
+    regions: Tuple[TaskRegion, ...]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise InvalidProgramError(f"program {self.name!r} has no regions")
+        seen: set[int] = set()
+        for region in self.regions:
+            for task in region.tasks:
+                if task.uid in seen:
+                    raise InvalidProgramError(
+                        f"program {self.name!r}: duplicate task uid {task.uid}"
+                    )
+                seen.add(task.uid)
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(region.num_tasks for region in self.regions)
+
+    @property
+    def total_work_us(self) -> float:
+        return sum(region.total_work_us for region in self.regions)
+
+    @property
+    def average_task_us(self) -> float:
+        count = self.num_tasks
+        return self.total_work_us / count if count else 0.0
+
+    def all_tasks(self) -> Iterable[TaskDefinition]:
+        """All task definitions in creation order, across regions."""
+        for region in self.regions:
+            yield from region.tasks
+
+    def max_dependences_per_task(self) -> int:
+        return max((task.num_dependences for task in self.all_tasks()), default=0)
+
+
+class TaskInstanceFactory:
+    """Materializes :class:`TaskInstance` objects with unique descriptor addresses."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def create(self, definition: TaskDefinition, region_index: int = 0) -> TaskInstance:
+        index = next(self._counter)
+        address = TASK_DESCRIPTOR_BASE + index * TASK_DESCRIPTOR_STRIDE
+        return TaskInstance(definition, address, region_index=region_index)
+
+
+def single_region_program(
+    name: str,
+    tasks: Sequence[TaskDefinition],
+    metadata: Optional[Dict[str, object]] = None,
+) -> TaskProgram:
+    """Convenience constructor for programs with a single parallel region."""
+    return TaskProgram(
+        name=name,
+        regions=(TaskRegion(tasks=tuple(tasks), name=f"{name}.region0"),),
+        metadata=dict(metadata or {}),
+    )

@@ -1,0 +1,128 @@
+"""Task Superscalar baseline: dependence management *and* scheduling in hardware.
+
+Task Superscalar [11] offloads the whole runtime activity to the
+architecture.  The model reuses the DMU for dependence tracking (the paper's
+gem5 setup does the same: "Combining this hardware queue and the DMU we also
+model Task Superscalar") and schedules directly from the hardware Ready Queue
+with a fixed FIFO policy: workers pop ready tasks straight from the unit, so
+there is no software pool and the configured software scheduler is ignored.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..core.dmu import DependenceManagementUnit
+from ..schedulers.base import ReadyEntry
+from ..sim.events import Acquire, NotificationEvent, Timeout, WaitEvent
+from ..sim.resources import Lock
+from ..sim.timeline import Phase
+from .base import RuntimeGenerator, RuntimeSystem
+from .task import TaskDefinition, TaskInstance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.thread import SimThread
+
+
+class TaskSuperscalarRuntime(RuntimeSystem):
+    """Hardware dependence tracking + hardware FIFO scheduling."""
+
+    name = "task_superscalar"
+    uses_dmu = True
+    honors_scheduler = False
+
+    def __init__(self, config, scheduler, engine, noc) -> None:
+        super().__init__(config, scheduler, engine, noc)
+        self._dmu = DependenceManagementUnit(config.dmu)
+        self.dmu_lock = Lock(engine, "tss")
+        self.space_freed = NotificationEvent(engine, "tss-space")
+        self.blocked_instruction_events = 0
+
+    @property
+    def dmu(self) -> DependenceManagementUnit:
+        return self._dmu
+
+    def work_available_hint(self) -> bool:
+        return self._dmu.ready_tasks > 0
+
+    # ------------------------------------------------------------------ issue helper
+    def _issue(self, thread: "SimThread", operation: Callable[[], object]) -> RuntimeGenerator:
+        yield Timeout(self.config.dmu.instruction_issue_cycles)
+        yield Timeout(self.noc.round_trip_cycles(thread.core_id))
+        while True:
+            space_target = self.space_freed.wait_target()
+            yield Acquire(self.dmu_lock)
+            result = operation()
+            if getattr(result, "blocked", False):
+                self.dmu_lock.release(thread.process)
+                self.blocked_instruction_events += 1
+                previous_phase = Phase.DEPS
+                thread.timeline.begin(Phase.IDLE, self.engine.now)
+                yield WaitEvent(space_target)
+                thread.timeline.begin(previous_phase, self.engine.now)
+                continue
+            yield Timeout(result.cycles)
+            self.dmu_lock.release(thread.process)
+            return result
+
+    # ------------------------------------------------------------------ creation
+    def create_task(
+        self, thread: "SimThread", definition: TaskDefinition, region_index: int
+    ) -> RuntimeGenerator:
+        instance = self.new_instance(definition, region_index)
+        yield Timeout(self.costs.tdm_task_alloc_cycles())
+        yield from self._issue(
+            thread, lambda: self._dmu.create_task(instance.descriptor_address)
+        )
+        for dependence in definition.dependences:
+            yield from self._issue(
+                thread,
+                lambda dep=dependence: self._dmu.add_dependence(
+                    instance.descriptor_address, dep.address, dep.size, dep.direction
+                ),
+            )
+        completion = yield from self._issue(
+            thread, lambda: self._dmu.complete_creation(instance.descriptor_address)
+        )
+        if completion.became_ready:
+            instance.mark_ready(self.engine.now)
+            self.notify_workers()
+        return instance
+
+    # ------------------------------------------------------------------ scheduling
+    def try_get_task(self, thread: "SimThread") -> RuntimeGenerator:
+        if self._dmu.ready_tasks == 0:
+            return None
+        yield Timeout(self.costs.hw_queue_cycles())
+        result = yield from self._issue(thread, self._dmu.get_ready_task)
+        if result.is_null:
+            return None
+        instance = self.resolve_descriptor(result.descriptor_address)
+        if instance.ready_cycle is None:
+            instance.mark_ready(self.engine.now)
+        self.pool.total_pops += 1
+        return ReadyEntry(
+            task=instance,
+            creation_seq=instance.uid,
+            ready_seq=self.pool.next_ready_seq(),
+            successor_count=result.num_successors,
+            producer_core=thread.core_id,
+        )
+
+    # ------------------------------------------------------------------ finalization
+    def finish_task(self, thread: "SimThread", instance: TaskInstance) -> RuntimeGenerator:
+        yield Timeout(self.costs.tdm_finish_cycles())
+        result = yield from self._issue(
+            thread, lambda: self._dmu.finish_task(instance.descriptor_address)
+        )
+        instance.mark_finished(self.engine.now)
+        self.tasks_finished += 1
+        self.space_freed.notify_all()
+        if result.tasks_woken > 0:
+            self.notify_workers()
+        return None
+
+    def stats(self):
+        data = super().stats()
+        data["dmu_blocked_events"] = self.blocked_instruction_events
+        return data

@@ -1,0 +1,163 @@
+"""The TDM runtime: dependence management in hardware, scheduling in software.
+
+This is the paper's proposal.  The runtime allocates task descriptors and
+issues the four TDM ISA instructions; the DMU tracks tasks and dependences
+and exposes ready tasks through its Ready Queue; the runtime drains ready
+tasks into its software pool and schedules them with any policy.
+
+Timing model of one ISA instruction (Section III-D gives them barrier
+semantics, so the issuing core is busy for the whole duration):
+
+    issue cycles  +  NoC round trip  +  DMU processing cycles
+
+The DMU processes instructions sequentially, which is modeled with a lock
+around the unit.  When the DMU reports that a structure is full, the
+instruction blocks: the core waits until a ``finish_task`` frees entries and
+then retries (only the DMU processing part is re-attempted — the instruction
+sits at the DMU, it is not re-executed by the core).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..core.dmu import DependenceManagementUnit
+from ..schedulers.base import ReadyEntry
+from ..sim.events import Acquire, NotificationEvent, Timeout, WaitEvent
+from ..sim.resources import Lock
+from ..sim.timeline import Phase
+from .base import RuntimeGenerator, RuntimeSystem
+from .task import TaskDefinition, TaskInstance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.thread import SimThread
+
+
+class TDMRuntime(RuntimeSystem):
+    """Runtime system using the DMU for dependence tracking."""
+
+    name = "tdm"
+    uses_dmu = True
+    honors_scheduler = True
+
+    def __init__(self, config, scheduler, engine, noc) -> None:
+        super().__init__(config, scheduler, engine, noc)
+        self._dmu = DependenceManagementUnit(config.dmu)
+        self.dmu_lock = Lock(engine, "dmu")
+        self.space_freed = NotificationEvent(engine, "dmu-space")
+        self.blocked_instruction_events = 0
+        self.blocked_cycles = 0
+
+    @property
+    def dmu(self) -> DependenceManagementUnit:
+        return self._dmu
+
+    # ------------------------------------------------------------------ ISA issue helper
+    def _issue(self, thread: "SimThread", operation: Callable[[], object]) -> RuntimeGenerator:
+        """Issue one TDM ISA instruction and return its result.
+
+        Retries (without re-paying issue and NoC latency) whenever the DMU
+        reports a full structure, waiting for space to be freed in between.
+        Time spent stalled on a full DMU is accounted as IDLE (the core makes
+        no progress and is clock gated), not as dependence-management work.
+        """
+        yield Timeout(self.config.dmu.instruction_issue_cycles)
+        yield Timeout(self.noc.round_trip_cycles(thread.core_id))
+        first_attempt = True
+        while True:
+            space_target = self.space_freed.wait_target()
+            yield Acquire(self.dmu_lock)
+            result = operation()
+            if getattr(result, "blocked", False):
+                self.dmu_lock.release(thread.process)
+                self.blocked_instruction_events += 1
+                blocked_since = self.engine.now
+                thread.timeline.begin(Phase.IDLE, self.engine.now)
+                yield WaitEvent(space_target)
+                thread.timeline.begin(Phase.DEPS, self.engine.now)
+                self.blocked_cycles += self.engine.now - blocked_since
+                first_attempt = False
+                continue
+            yield Timeout(result.cycles)
+            self.dmu_lock.release(thread.process)
+            if not first_attempt:
+                # The response still crosses the NoC once after a blocked wait.
+                yield Timeout(self.noc.round_trip_cycles(thread.core_id) // 2)
+            return result
+
+    def _drain_ready(self, thread: "SimThread") -> RuntimeGenerator:
+        """Issue ``get_ready_task`` until the DMU returns null, filling the pool."""
+        drained = 0
+        while True:
+            result = yield from self._issue(thread, self._dmu.get_ready_task)
+            if result.is_null:
+                return drained
+            instance = self.resolve_descriptor(result.descriptor_address)
+            yield Timeout(self.costs.tdm_drain_cycles())
+            yield Acquire(self.runtime_lock)
+            yield Timeout(self.costs.tdm_push_cycles())
+            self.push_ready(
+                instance,
+                producer_core=thread.core_id,
+                successor_count=result.num_successors,
+            )
+            self.runtime_lock.release(thread.process)
+            drained += 1
+
+    # ------------------------------------------------------------------ creation
+    def create_task(
+        self, thread: "SimThread", definition: TaskDefinition, region_index: int
+    ) -> RuntimeGenerator:
+        instance = self.new_instance(definition, region_index)
+        yield Timeout(self.costs.tdm_task_alloc_cycles())
+        yield from self._issue(
+            thread, lambda: self._dmu.create_task(instance.descriptor_address)
+        )
+        for dependence in definition.dependences:
+            yield from self._issue(
+                thread,
+                lambda dep=dependence: self._dmu.add_dependence(
+                    instance.descriptor_address, dep.address, dep.size, dep.direction
+                ),
+            )
+        completion = yield from self._issue(
+            thread, lambda: self._dmu.complete_creation(instance.descriptor_address)
+        )
+        if completion.became_ready:
+            # The creating thread drains the task so it reaches the software
+            # pool immediately (no other thread polls the DMU).
+            yield from self._drain_ready(thread)
+        return instance
+
+    # ------------------------------------------------------------------ scheduling
+    def try_get_task(self, thread: "SimThread") -> RuntimeGenerator:
+        if not self.pool.peek_available():
+            return None
+        yield Acquire(self.runtime_lock)
+        yield Timeout(self.costs.lock_acquire_cycles())
+        entry: Optional[ReadyEntry] = self.pool.pop(thread.core_id)
+        if entry is not None:
+            yield Timeout(self.costs.tdm_pop_cycles())
+        self.runtime_lock.release(thread.process)
+        return entry
+
+    # ------------------------------------------------------------------ finalization
+    def finish_task(self, thread: "SimThread", instance: TaskInstance) -> RuntimeGenerator:
+        yield Timeout(self.costs.tdm_finish_cycles())
+        yield from self._issue(
+            thread, lambda: self._dmu.finish_task(instance.descriptor_address)
+        )
+        instance.mark_finished(self.engine.now)
+        self.tasks_finished += 1
+        # Entries were freed in the DMU: unblock any stalled creation.
+        self.space_freed.notify_all()
+        # "Just after notifying a task has finished, the runtime system uses
+        # get_ready_task to request the successors that have just become ready."
+        yield from self._drain_ready(thread)
+        return None
+
+    def stats(self):
+        data = super().stats()
+        data["dmu_blocked_events"] = self.blocked_instruction_events
+        data["dmu_blocked_cycles"] = self.blocked_cycles
+        return data

@@ -1,0 +1,152 @@
+"""Software dependence tracker.
+
+This is the dependence-management engine of the pure-software runtime (and of
+the Carbon baseline, which only accelerates scheduling).  It implements the
+same last-writer/readers semantics as the DMU's Algorithms 1 and 2, operating
+on :class:`~repro.runtime.task.TaskInstance` objects instead of hardware
+tables, so the software runtime and the DMU build the *same* task dependence
+graph — a property the test suite checks explicitly.
+
+The tracker also reports how much matching work each registration performed
+(readers traversed, successor links created), which drives the calibrated
+software cost model: region-based dependence matching in runtimes such as
+Nanos++ is dominated by exactly these traversals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ValidationError
+from .task import AccessMode, TaskInstance
+
+
+@dataclass
+class _DependenceRecord:
+    """Tracking state of one dependence address (last writer and readers)."""
+
+    last_writer: Optional[TaskInstance] = None
+    readers: List[TaskInstance] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.readers is None:
+            self.readers = []
+
+    @property
+    def is_empty(self) -> bool:
+        return self.last_writer is None and not self.readers
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Work performed while registering one task's dependences."""
+
+    num_dependences: int
+    readers_traversed: int
+    writers_matched: int
+    successor_links: int
+    initially_ready: bool
+
+
+class DependenceTracker:
+    """Address-based dependence matching with last-writer/readers semantics."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, _DependenceRecord] = {}
+        self.registered_tasks = 0
+        self.finished_tasks = 0
+        self.total_successor_links = 0
+        self.max_live_dependences = 0
+
+    @property
+    def live_dependences(self) -> int:
+        """Number of addresses currently tracked."""
+        return len(self._records)
+
+    def register_task(self, task: TaskInstance) -> MatchResult:
+        """Register ``task``'s dependences; mirrors the DMU's Algorithm 1.
+
+        Must be called in program creation order.  Returns the matching work
+        performed, which the cost model converts into cycles.
+        """
+        readers_traversed = 0
+        writers_matched = 0
+        successor_links = 0
+        for dependence in task.definition.dependences:
+            record = self._records.setdefault(dependence.address, _DependenceRecord())
+            # RAW / WAW: depend on the last writer of the address.
+            if record.last_writer is not None and record.last_writer is not task:
+                writers_matched += 1
+                if not record.last_writer.is_finished:
+                    record.last_writer.add_successor(task)
+                    successor_links += 1
+            if dependence.mode.is_output:
+                # OUT and INOUT accesses: depend on every current reader (WAR),
+                # then become the last writer.  Mirroring the DMU interface,
+                # an INOUT access is communicated as an output and is *not*
+                # also recorded as a reader.
+                for reader in record.readers:
+                    readers_traversed += 1
+                    if reader is task:
+                        continue
+                    if not reader.is_finished:
+                        reader.add_successor(task)
+                        successor_links += 1
+                record.readers = []
+                record.last_writer = task
+            else:
+                if task not in record.readers:
+                    record.readers.append(task)
+        self.registered_tasks += 1
+        self.total_successor_links += successor_links
+        self.max_live_dependences = max(self.max_live_dependences, len(self._records))
+        initially_ready = task.num_predecessors == 0
+        return MatchResult(
+            num_dependences=task.definition.num_dependences,
+            readers_traversed=readers_traversed,
+            writers_matched=writers_matched,
+            successor_links=successor_links,
+            initially_ready=initially_ready,
+        )
+
+    def finish_task(self, task: TaskInstance) -> List[TaskInstance]:
+        """Retire ``task``; mirrors the DMU's Algorithm 2.
+
+        Returns the successor tasks whose predecessor count reached zero
+        (newly ready).  Also cleans this task out of the per-address records
+        so the tracked state stays proportional to the in-flight window.
+        """
+        if task.is_finished:
+            raise ValidationError(f"task {task.name!r} finished twice")
+        newly_ready: List[TaskInstance] = []
+        for successor in task.successors:
+            successor.num_predecessors -= 1
+            if successor.num_predecessors < 0:
+                raise ValidationError(
+                    f"task {successor.name!r} predecessor count went negative"
+                )
+            if successor.num_predecessors == 0 and not successor.is_finished:
+                newly_ready.append(successor)
+        for dependence in task.definition.dependences:
+            record = self._records.get(dependence.address)
+            if record is None:
+                continue
+            if task in record.readers:
+                record.readers.remove(task)
+            if record.last_writer is task:
+                record.last_writer = None
+            if record.is_empty:
+                del self._records[dependence.address]
+        self.finished_tasks += 1
+        return newly_ready
+
+    def last_writer_of(self, address: int) -> Optional[TaskInstance]:
+        """Current last writer of ``address`` (None if untracked)."""
+        record = self._records.get(address)
+        return record.last_writer if record else None
+
+    def readers_of(self, address: int) -> List[TaskInstance]:
+        """Current readers of ``address`` (empty if untracked)."""
+        record = self._records.get(address)
+        return list(record.readers) if record else []

@@ -1,0 +1,33 @@
+"""Software task schedulers.
+
+TDM leaves scheduling decisions to the runtime system; the paper evaluates
+five policies (Section VI): FIFO, LIFO, Locality, Successor and Age.  Each
+policy is a small class operating on :class:`~repro.schedulers.base.ReadyEntry`
+objects pushed by the runtime when tasks become ready and popped by worker
+threads.
+
+Policies are looked up by name through :func:`repro.schedulers.registry.create_scheduler`
+so experiments can sweep them, and new policies can be registered by client
+code via :func:`repro.schedulers.registry.register_scheduler`.
+"""
+
+from .base import ReadyEntry, Scheduler
+from .fifo import FifoScheduler
+from .lifo import LifoScheduler
+from .locality import LocalityScheduler
+from .successor import SuccessorScheduler
+from .age import AgeScheduler
+from .registry import available_schedulers, create_scheduler, register_scheduler
+
+__all__ = [
+    "ReadyEntry",
+    "Scheduler",
+    "FifoScheduler",
+    "LifoScheduler",
+    "LocalityScheduler",
+    "SuccessorScheduler",
+    "AgeScheduler",
+    "available_schedulers",
+    "create_scheduler",
+    "register_scheduler",
+]

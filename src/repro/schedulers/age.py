@@ -1,0 +1,37 @@
+"""Age scheduler: older tasks (earlier creation time) run first.
+
+Section VI of the paper: "Age scheduler sorts tasks in the ready queue by
+their creation time, so older tasks have higher priority than younger ones."
+Creation time is the program creation order captured in
+:attr:`~repro.schedulers.base.ReadyEntry.creation_seq`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+from .base import ReadyEntry, Scheduler
+
+
+class AgeScheduler(Scheduler):
+    """Priority queue ordered by task creation time (oldest first)."""
+
+    name = "age"
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, ReadyEntry]] = []
+        self._tiebreak = itertools.count()
+
+    def push(self, entry: ReadyEntry) -> None:
+        heapq.heappush(self._heap, (entry.creation_seq, next(self._tiebreak), entry))
+
+    def pop(self, core_id: int) -> Optional[ReadyEntry]:
+        if not self._heap:
+            return None
+        _, _, entry = heapq.heappop(self._heap)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,73 @@
+"""Scheduler interface and the ready-pool entry it operates on.
+
+A scheduler is a policy over the software pool of ready tasks: the runtime
+``push``-es an entry whenever a task becomes ready and a worker ``pop``-s one
+entry when it looks for work.  ``pop`` receives the identifier of the core
+asking for work so that locality-aware policies can prefer tasks whose inputs
+were produced on that core.
+
+Schedulers are deliberately unaware of the runtime-system flavour (software,
+TDM, ...): all the information they may use is carried by
+:class:`ReadyEntry`, which is exactly what the paper's TDM interface exposes
+to software (the task descriptor, its number of successors, and what the
+runtime itself can remember, such as creation order and the core that
+discovered the task).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class ReadyEntry:
+    """One ready task as seen by the software scheduler.
+
+    Attributes:
+        task: opaque handle to the runtime's task object (returned on pop).
+        creation_seq: program creation order of the task (lower = older).
+        ready_seq: order in which tasks were pushed to the pool.
+        successor_count: number of successors known when the task became
+            ready (returned by ``get_ready_task`` under TDM, read from the
+            software TDG otherwise).
+        producer_core: core that discovered the task (finished its last
+            predecessor or drained it from the DMU), or ``None`` when unknown.
+    """
+
+    task: Any
+    creation_seq: int
+    ready_seq: int
+    successor_count: int = 0
+    producer_core: Optional[int] = None
+
+
+class Scheduler(abc.ABC):
+    """Base class of all software scheduling policies."""
+
+    #: Registry name; subclasses must override it.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def push(self, entry: ReadyEntry) -> None:
+        """Add a ready task to the pool."""
+
+    @abc.abstractmethod
+    def pop(self, core_id: int) -> Optional[ReadyEntry]:
+        """Select and remove a task for ``core_id`` (None when the pool is empty)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of ready tasks currently in the pool."""
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    def peek_available(self) -> bool:
+        """Cheap check used by idle workers before paying the pop cost."""
+        return len(self) > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(len={len(self)})"

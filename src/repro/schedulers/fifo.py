@@ -1,0 +1,28 @@
+"""First-In First-Out scheduler: tasks run in the order they became ready."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .base import ReadyEntry, Scheduler
+
+
+class FifoScheduler(Scheduler):
+    """The paper's baseline policy: schedule tasks in ready order."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._queue: Deque[ReadyEntry] = deque()
+
+    def push(self, entry: ReadyEntry) -> None:
+        self._queue.append(entry)
+
+    def pop(self, core_id: int) -> Optional[ReadyEntry]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)

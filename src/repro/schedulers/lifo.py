@@ -1,0 +1,27 @@
+"""Last-In First-Out scheduler: the most recently ready task runs first."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import ReadyEntry, Scheduler
+
+
+class LifoScheduler(Scheduler):
+    """Schedule first the last task that became ready (a work stack)."""
+
+    name = "lifo"
+
+    def __init__(self) -> None:
+        self._stack: List[ReadyEntry] = []
+
+    def push(self, entry: ReadyEntry) -> None:
+        self._stack.append(entry)
+
+    def pop(self, core_id: int) -> Optional[ReadyEntry]:
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,63 @@
+"""Locality-aware scheduler.
+
+Section VI of the paper: "Locality scheduler exploits data locality and
+assigns tasks to cores aiming to minimize data movements.  When a task
+finishes executing on a core and some of its successor tasks is ready, a
+successor is executed on the core.  If no successors are ready the first task
+in the ready queue is scheduled."
+
+The runtime tags every ready entry with the core that discovered it
+(``producer_core``): under TDM that is the core that drained the task from
+the DMU right after finishing its predecessor, and under the software runtime
+the core that woke it up — both are exactly "a successor of the task that
+just finished on this core".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from .base import ReadyEntry, Scheduler
+
+
+class LocalityScheduler(Scheduler):
+    """Prefer tasks whose predecessor just ran on the requesting core."""
+
+    name = "locality"
+
+    def __init__(self) -> None:
+        self._global_queue: Deque[ReadyEntry] = deque()
+        self._per_core: Dict[int, Deque[ReadyEntry]] = {}
+        self._size = 0
+
+    def push(self, entry: ReadyEntry) -> None:
+        if entry.producer_core is not None:
+            self._per_core.setdefault(entry.producer_core, deque()).append(entry)
+        else:
+            self._global_queue.append(entry)
+        self._size += 1
+
+    def pop(self, core_id: int) -> Optional[ReadyEntry]:
+        if self._size == 0:
+            return None
+        local = self._per_core.get(core_id)
+        if local:
+            self._size -= 1
+            return local.popleft()
+        if self._global_queue:
+            self._size -= 1
+            return self._global_queue.popleft()
+        # Steal the oldest entry from the core with the longest backlog.
+        victim = max(
+            (queue for queue in self._per_core.values() if queue),
+            key=len,
+            default=None,
+        )
+        if victim is None:
+            return None
+        self._size -= 1
+        return victim.popleft()
+
+    def __len__(self) -> int:
+        return self._size

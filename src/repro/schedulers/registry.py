@@ -1,0 +1,58 @@
+"""Name-based scheduler registry.
+
+Experiments refer to schedulers by name ("fifo", "lifo", "locality",
+"successor", "age"); :func:`create_scheduler` instantiates a fresh policy for
+every simulation.  Client code can plug additional policies in with
+:func:`register_scheduler`, which is the extension point the paper's
+"flexible software scheduling" argument is about.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from .age import AgeScheduler
+from .base import Scheduler
+from .fifo import FifoScheduler
+from .lifo import LifoScheduler
+from .locality import LocalityScheduler
+from .successor import SuccessorScheduler
+
+SchedulerFactory = Callable[[], Scheduler]
+
+_REGISTRY: Dict[str, SchedulerFactory] = {
+    FifoScheduler.name: FifoScheduler,
+    LifoScheduler.name: LifoScheduler,
+    LocalityScheduler.name: LocalityScheduler,
+    SuccessorScheduler.name: SuccessorScheduler,
+    AgeScheduler.name: AgeScheduler,
+}
+
+#: Scheduler names evaluated in Figure 12 of the paper, in plot order.
+PAPER_SCHEDULERS = ("fifo", "lifo", "locality", "successor", "age")
+
+
+def register_scheduler(name: str, factory: SchedulerFactory, replace: bool = False) -> None:
+    """Register a custom scheduling policy under ``name``."""
+    key = name.lower()
+    if key in _REGISTRY and not replace:
+        raise ConfigurationError(f"scheduler {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_schedulers() -> List[str]:
+    """Names of all registered scheduling policies (sorted)."""
+    return sorted(_REGISTRY)
+
+
+def create_scheduler(name: str) -> Scheduler:
+    """Instantiate the scheduler registered under ``name``."""
+    key = name.lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
+        ) from exc
+    return factory()

@@ -1,0 +1,48 @@
+"""Successor-count (criticality) scheduler.
+
+Section VI of the paper: "Successor scheduler counts the number of successors
+of a task.  If this number is above a threshold it is placed in a high
+priority ready queue, otherwise it is placed in a low priority ready queue.
+Threads first check the high priority ready queue and, if it is empty, they
+look for tasks in the low priority ready queue."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .base import ReadyEntry, Scheduler
+
+#: Default threshold: tasks with more than one successor are considered
+#: critical (they unblock more downstream work).
+DEFAULT_SUCCESSOR_THRESHOLD = 1
+
+
+class SuccessorScheduler(Scheduler):
+    """Two-level priority queue keyed on the number of successors."""
+
+    name = "successor"
+
+    def __init__(self, threshold: int = DEFAULT_SUCCESSOR_THRESHOLD) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.threshold = threshold
+        self._high: Deque[ReadyEntry] = deque()
+        self._low: Deque[ReadyEntry] = deque()
+
+    def push(self, entry: ReadyEntry) -> None:
+        if entry.successor_count > self.threshold:
+            self._high.append(entry)
+        else:
+            self._low.append(entry)
+
+    def pop(self, core_id: int) -> Optional[ReadyEntry]:
+        if self._high:
+            return self._high.popleft()
+        if self._low:
+            return self._low.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._high) + len(self._low)

@@ -1,0 +1,156 @@
+"""A small coroutine-based discrete-event simulation kernel.
+
+The kernel is deliberately minimal (in the spirit of SimPy, but specialized
+for this project): an event queue ordered by time, and processes implemented
+as generators that yield :class:`~repro.sim.events.Command` objects.
+
+Determinism: events scheduled at the same time are processed in scheduling
+order (a monotonically increasing sequence number breaks ties), so two runs
+of the same configuration produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+from ..errors import DeadlockError, SimulationError
+from .events import Acquire, Command, SimEvent, Timeout, WaitEvent
+
+ProcessBody = Generator[Command, Any, Any]
+
+
+class Process:
+    """A simulation process wrapping a generator of commands.
+
+    The engine drives the generator: each ``yield`` suspends the process
+    until the yielded command is satisfied, at which point the generator is
+    resumed with the command's result (the trigger value for events, ``None``
+    for timeouts and lock acquisitions).
+    """
+
+    __slots__ = ("engine", "name", "generator", "finished", "result", "completion", "_waiting")
+
+    def __init__(self, engine: "Engine", generator: ProcessBody, name: str = "process") -> None:
+        self.engine = engine
+        self.name = name
+        self.generator = generator
+        self.finished = False
+        self.result: Any = None
+        self.completion = SimEvent(engine, f"{name}.completion")
+        self._waiting = False
+
+    def start(self) -> None:
+        """Schedule the first step of the process at the current time."""
+        self.engine.schedule(0, lambda: self.resume(None))
+
+    def resume(self, value: Any) -> None:
+        """Advance the generator with ``value`` and interpret its next command."""
+        if self.finished:
+            return
+        self._waiting = False
+        try:
+            command = self.generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.engine._process_finished(self)
+            self.completion.trigger(stop.value)
+            return
+        except Exception as exc:  # surface the failing process in the traceback
+            self.finished = True
+            self.engine._process_finished(self)
+            raise SimulationError(f"process {self.name!r} raised {exc!r}") from exc
+        self._dispatch(command)
+
+    def _dispatch(self, command: Command) -> None:
+        self._waiting = True
+        if isinstance(command, Timeout):
+            self.engine.schedule(command.cycles, lambda: self.resume(None))
+        elif isinstance(command, WaitEvent):
+            command.event.add_waiter(self)
+        elif isinstance(command, Acquire):
+            command.lock._enqueue(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded an unknown command: {command!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else ("waiting" if self._waiting else "ready")
+        return f"Process({self.name!r}, {state})"
+
+
+class Engine:
+    """Discrete-event engine: clock, event queue and process registry."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._processes: list[Process] = []
+        self._live_processes = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def schedule(self, delay: int | float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + int(delay), next(self._sequence), callback))
+
+    def event(self, name: str = "event") -> SimEvent:
+        """Create a new one-shot event bound to this engine."""
+        return SimEvent(self, name)
+
+    def process(self, generator: ProcessBody, name: str = "process") -> Process:
+        """Register and start a new process built from ``generator``."""
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        self._live_processes += 1
+        process.start()
+        return process
+
+    def _process_finished(self, process: Process) -> None:
+        self._live_processes -= 1
+
+    @property
+    def processes(self) -> Iterable[Process]:
+        """All processes ever registered with the engine."""
+        return tuple(self._processes)
+
+    def run(self, until: int | None = None) -> int:
+        """Run until the event queue drains (or until ``until`` cycles).
+
+        Returns the final simulation time.  Raises :class:`DeadlockError` if
+        the queue drains while registered processes are still unfinished,
+        which indicates a lost wake-up or a dependence cycle in the workload.
+        """
+        while self._queue:
+            time, _seq, callback = heapq.heappop(self._queue)
+            if until is not None and time > until:
+                heapq.heappush(self._queue, (time, _seq, callback))
+                self._now = until
+                return self._now
+            self._now = time
+            callback()
+        if self._live_processes > 0:
+            blocked = [p.name for p in self._processes if not p.finished]
+            raise DeadlockError(
+                "simulation deadlocked: no pending events but "
+                f"{self._live_processes} processes still blocked: {blocked[:8]}"
+            )
+        return self._now
+
+    def run_all(self, max_cycles: int | None = None) -> int:
+        """Run to completion, optionally enforcing a cycle budget."""
+        final = self.run(until=max_cycles)
+        if max_cycles is not None and self._queue:
+            raise SimulationError(
+                f"simulation exceeded the cycle budget of {max_cycles} cycles"
+            )
+        return final

@@ -1,0 +1,149 @@
+"""Commands and events understood by the discrete-event kernel.
+
+Simulation processes are plain Python generators.  They communicate with the
+engine by yielding *command* objects:
+
+``Timeout(cycles)``
+    Suspend the process for ``cycles`` clock cycles.
+
+``Acquire(lock)``
+    Suspend until the FIFO lock is granted to this process.
+
+``WaitEvent(event)``
+    Suspend until ``event`` is triggered; the triggered value is returned by
+    the ``yield`` expression.
+
+The :class:`SimEvent` class is the one-shot broadcast event used for
+completion notifications (task finished, structure entry freed, barrier
+reached, ...).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .engine import Engine, Process
+    from .resources import Lock
+
+
+class Command:
+    """Base class of every object a simulation process may yield."""
+
+    __slots__ = ()
+
+
+class Timeout(Command):
+    """Suspend the yielding process for a fixed number of cycles."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int | float) -> None:
+        if cycles < 0:
+            raise ValueError(f"Timeout cycles must be >= 0, got {cycles}")
+        self.cycles = int(cycles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.cycles})"
+
+
+class Acquire(Command):
+    """Suspend the yielding process until the lock is granted to it."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: "Lock") -> None:
+        self.lock = lock
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Acquire({self.lock.name!r})"
+
+
+class WaitEvent(Command):
+    """Suspend the yielding process until the event is triggered."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: "SimEvent") -> None:
+        self.event = event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WaitEvent({self.event.name!r})"
+
+
+class SimEvent:
+    """One-shot broadcast event.
+
+    Processes wait on the event by yielding ``WaitEvent(event)``.  Triggering
+    the event resumes every waiter (in registration order) with the trigger
+    value.  Waiting on an already-triggered event resumes immediately, which
+    makes the primitive safe against wake-up/wait races.
+    """
+
+    __slots__ = ("engine", "name", "triggered", "value", "_waiters", "_callbacks")
+
+    def __init__(self, engine: "Engine", name: str = "event") -> None:
+        self.engine = engine
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list["Process"] = []
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    def add_waiter(self, process: "Process") -> None:
+        """Register a process to be resumed on trigger (engine internal)."""
+        if self.triggered:
+            self.engine.schedule(0, lambda: process.resume(self.value))
+        else:
+            self._waiters.append(process)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(value)`` when the event triggers (or now if it has)."""
+        if self.triggered:
+            callback(self.value)
+        else:
+            self._callbacks.append(callback)
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, resuming every waiter at the current time."""
+        if self.triggered:
+            return
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        callbacks, self._callbacks = self._callbacks, []
+        for process in waiters:
+            self.engine.schedule(0, lambda p=process: p.resume(value))
+        for callback in callbacks:
+            callback(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else f"{len(self._waiters)} waiters"
+        return f"SimEvent({self.name!r}, {state})"
+
+
+class NotificationEvent:
+    """A re-arming notification channel built on top of :class:`SimEvent`.
+
+    Waiters obtain the current :class:`SimEvent` via :meth:`wait_target`; a
+    call to :meth:`notify_all` triggers the current event and installs a
+    fresh one.  This models "space was freed in a hardware structure" and
+    "a task was pushed to the ready pool" notifications, where the condition
+    must be re-checked after every wake-up.
+    """
+
+    __slots__ = ("engine", "name", "_current")
+
+    def __init__(self, engine: "Engine", name: str = "notify") -> None:
+        self.engine = engine
+        self.name = name
+        self._current = SimEvent(engine, name)
+
+    def wait_target(self) -> SimEvent:
+        """The event a process should wait on for the *next* notification."""
+        return self._current
+
+    def notify_all(self, value: Any = None) -> None:
+        """Wake every process currently waiting and re-arm the channel."""
+        event, self._current = self._current, SimEvent(self.engine, self.name)
+        event.trigger(value)

@@ -1,0 +1,47 @@
+"""Network-on-chip latency model.
+
+The DMU is a centralized module attached to the NoC (Figure 3 of the paper).
+Every ISA instruction issued by a core therefore pays a round-trip latency to
+reach the DMU and return the result.  A full mesh simulation is unnecessary
+for the paper's experiments — the DMU traffic is tiny compared to task
+durations — so the model charges a base round-trip plus a small per-hop
+component derived from the core's position in a square mesh.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NocModel:
+    """Distance-aware round-trip latency between a core and the DMU."""
+
+    num_cores: int = 32
+    cycles_per_hop: int = 2
+    router_cycles: int = 1
+    base_cycles: int = 10
+
+    def mesh_side(self) -> int:
+        """Side of the smallest square mesh that fits all cores (plus the DMU)."""
+        return max(1, math.ceil(math.sqrt(self.num_cores + 1)))
+
+    def hops_to_dmu(self, core_id: int) -> int:
+        """Manhattan distance from ``core_id`` to the DMU placed at the mesh center."""
+        if core_id < 0 or core_id >= self.num_cores:
+            raise ValueError(f"core_id {core_id} out of range [0, {self.num_cores})")
+        side = self.mesh_side()
+        x, y = core_id % side, core_id // side
+        cx, cy = side // 2, side // 2
+        return abs(x - cx) + abs(y - cy)
+
+    def round_trip_cycles(self, core_id: int) -> int:
+        """Round-trip latency in cycles for a request/response pair."""
+        hops = self.hops_to_dmu(core_id)
+        one_way = self.base_cycles // 2 + hops * (self.cycles_per_hop + self.router_cycles)
+        return 2 * one_way
+
+    def average_round_trip_cycles(self) -> float:
+        """Mean round-trip latency over all cores (used by analytical models)."""
+        return sum(self.round_trip_cycles(c) for c in range(self.num_cores)) / self.num_cores

@@ -1,0 +1,85 @@
+"""Synchronization resources for the discrete-event kernel.
+
+The only resource the runtime models need is a FIFO mutual-exclusion lock:
+the software runtime serializes its task-dependence-graph and ready-pool
+updates behind a single lock (as Nanos++ does for its dependence domain), and
+the DMU processes ISA instructions one at a time, which is modeled with the
+same primitive.
+
+The lock records contention statistics (total wait cycles, number of
+acquisitions, busy cycles) that feed the runtime-overhead analysis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Engine, Process
+
+
+class Lock:
+    """FIFO mutual exclusion lock with contention statistics."""
+
+    def __init__(self, engine: "Engine", name: str = "lock") -> None:
+        self.engine = engine
+        self.name = name
+        self._holder: Optional["Process"] = None
+        self._waiters: Deque[tuple["Process", int]] = deque()
+        self._acquired_at = 0
+        # statistics
+        self.acquisitions = 0
+        self.total_wait_cycles = 0
+        self.total_hold_cycles = 0
+        self.max_queue_length = 0
+
+    @property
+    def locked(self) -> bool:
+        """True while some process holds the lock."""
+        return self._holder is not None
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes currently waiting for the lock."""
+        return len(self._waiters)
+
+    def _enqueue(self, process: "Process") -> None:
+        """Called by the engine when a process yields ``Acquire(self)``."""
+        if self._holder is None:
+            self._grant(process, waited=0)
+        else:
+            self._waiters.append((process, self.engine.now))
+            self.max_queue_length = max(self.max_queue_length, len(self._waiters))
+
+    def _grant(self, process: "Process", waited: int) -> None:
+        self._holder = process
+        self._acquired_at = self.engine.now
+        self.acquisitions += 1
+        self.total_wait_cycles += waited
+        self.engine.schedule(0, lambda: process.resume(None))
+
+    def release(self, process: "Process") -> None:
+        """Release the lock; must be called by the current holder."""
+        if self._holder is not process:
+            holder = self._holder.name if self._holder else None
+            raise SimulationError(
+                f"lock {self.name!r} released by {process.name!r} but held by {holder!r}"
+            )
+        self.total_hold_cycles += self.engine.now - self._acquired_at
+        self._holder = None
+        if self._waiters:
+            waiter, enqueued_at = self._waiters.popleft()
+            self._grant(waiter, waited=self.engine.now - enqueued_at)
+
+    def average_wait_cycles(self) -> float:
+        """Mean cycles a holder waited before acquiring (0 when uncontended)."""
+        if self.acquisitions == 0:
+            return 0.0
+        return self.total_wait_cycles / self.acquisitions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        holder = self._holder.name if self._holder else None
+        return f"Lock({self.name!r}, holder={holder!r}, waiters={len(self._waiters)})"

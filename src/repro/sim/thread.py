@@ -1,0 +1,147 @@
+"""Master and worker thread models.
+
+The execution model follows Section II-A of the paper: the master thread
+executes the program sequentially and creates tasks when it encounters task
+creation statements; worker threads iterate over the scheduling and execution
+phases; when the master reaches a global synchronization point (the end of a
+parallel region) it adopts the behaviour of a worker thread until every task
+of the region has executed, and then resumes the sequential program.
+
+Phase accounting (DEPS / SCHED / EXEC / IDLE) is performed here so that the
+runtime-system models only need to express *how long* their operations take,
+not how they are categorized.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List
+
+from ..runtime.task import TaskRegion
+from ..units import us_to_cycles
+from .engine import Engine
+from .events import Timeout, WaitEvent
+from .timeline import Phase, ThreadTimeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .machine import Machine
+
+
+class RegionState:
+    """Shared progress tracking of one parallel region."""
+
+    def __init__(self, engine: Engine, region: TaskRegion, index: int) -> None:
+        self.engine = engine
+        self.region = region
+        self.index = index
+        self.total_tasks = region.num_tasks
+        self.created = 0
+        self.finished = 0
+        self.all_created = False
+        self.done_event = engine.event(f"region{index}.done")
+
+    @property
+    def done(self) -> bool:
+        return self.done_event.triggered
+
+    def note_created(self) -> None:
+        self.created += 1
+
+    def note_all_created(self) -> None:
+        self.all_created = True
+        if self.finished == self.total_tasks:
+            self.done_event.trigger()
+
+    def note_finished(self) -> bool:
+        """Record one finished task; returns True when this completed the region."""
+        self.finished += 1
+        if self.all_created and self.finished == self.total_tasks and not self.done:
+            self.done_event.trigger()
+            return True
+        return False
+
+
+class SimThread:
+    """One hardware thread (the simulation pins one thread per core)."""
+
+    def __init__(self, machine: "Machine", thread_id: int, is_master: bool) -> None:
+        self.machine = machine
+        self.thread_id = thread_id
+        self.core_id = thread_id
+        self.is_master = is_master
+        self.timeline: ThreadTimeline = machine.recorder.thread(thread_id)
+        self.process = None  # assigned by the machine when the process starts
+        self.tasks_executed = 0
+
+    # ------------------------------------------------------------------ process body
+    def run(self) -> Iterator:
+        """Process body: iterate over the program's parallel regions."""
+        engine = self.machine.engine
+        self.timeline.begin(Phase.IDLE, engine.now)
+        for region_state in self.machine.region_states:
+            if self.is_master:
+                yield from self._master_region(region_state)
+            else:
+                yield from self._worker_region(region_state)
+        self.timeline.begin(Phase.IDLE, engine.now)
+        return None
+
+    # ------------------------------------------------------------------ master
+    def _master_region(self, region_state: RegionState) -> Iterator:
+        engine = self.machine.engine
+        runtime = self.machine.runtime
+        region = region_state.region
+
+        if region.sequential_us_before > 0:
+            self.timeline.begin(Phase.EXEC, engine.now)
+            yield Timeout(us_to_cycles(region.sequential_us_before, self.machine.clock_ghz))
+
+        for definition in region.tasks:
+            if definition.creation_work_us > 0:
+                self.timeline.begin(Phase.EXEC, engine.now)
+                yield Timeout(us_to_cycles(definition.creation_work_us, self.machine.clock_ghz))
+            self.timeline.begin(Phase.DEPS, engine.now)
+            yield from runtime.create_task(self, definition, region_state.index)
+            region_state.note_created()
+
+        region_state.note_all_created()
+        runtime.notify_workers()
+        # The master reached the barrier: behave as a worker until the region drains.
+        yield from self._worker_loop(region_state)
+
+    # ------------------------------------------------------------------ workers
+    def _worker_region(self, region_state: RegionState) -> Iterator:
+        yield from self._worker_loop(region_state)
+
+    def _worker_loop(self, region_state: RegionState) -> Iterator:
+        engine = self.machine.engine
+        runtime = self.machine.runtime
+        while not region_state.done:
+            wake_target = runtime.wake_channel.wait_target()
+            self.timeline.begin(Phase.SCHED, engine.now)
+            entry = yield from runtime.try_get_task(self)
+            if entry is None:
+                self.timeline.begin(Phase.IDLE, engine.now)
+                if region_state.done:
+                    break
+                yield WaitEvent(wake_target)
+                continue
+            task = entry.task
+            # Task execution.
+            self.timeline.begin(Phase.EXEC, engine.now)
+            task.mark_running(engine.now, self.core_id)
+            yield Timeout(self.machine.execution_cycles(self.core_id, task))
+            self.tasks_executed += 1
+            # Task finalization (dependence management work).
+            self.timeline.begin(Phase.DEPS, engine.now)
+            yield from runtime.finish_task(self, task)
+            if region_state.note_finished():
+                runtime.notify_workers()
+        self.timeline.begin(Phase.IDLE, engine.now)
+
+
+def build_threads(machine: "Machine") -> List[SimThread]:
+    """Create one thread per core; thread 0 is the master."""
+    return [
+        SimThread(machine, thread_id, is_master=(thread_id == 0))
+        for thread_id in range(machine.config.chip.num_cores)
+    ]

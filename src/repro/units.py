@@ -1,0 +1,56 @@
+"""Time and size unit helpers shared across the simulator.
+
+The discrete-event simulator works in integer *cycles* of the chip clock.
+Workload generators and the paper's numbers are expressed in microseconds, so
+these helpers perform the conversion for a configurable clock frequency.
+The default clock of 2.0 GHz matches Table I of the paper.
+"""
+
+from __future__ import annotations
+
+DEFAULT_CLOCK_GHZ = 2.0
+
+KILOBYTE = 1024
+MEGABYTE = 1024 * KILOBYTE
+
+
+def cycles_per_us(clock_ghz: float = DEFAULT_CLOCK_GHZ) -> float:
+    """Number of clock cycles in one microsecond at ``clock_ghz``."""
+    return clock_ghz * 1000.0
+
+
+def us_to_cycles(us: float, clock_ghz: float = DEFAULT_CLOCK_GHZ) -> int:
+    """Convert microseconds to an integer number of cycles (at least 1 if us > 0)."""
+    if us < 0:
+        raise ValueError(f"negative duration: {us}")
+    cycles = int(round(us * cycles_per_us(clock_ghz)))
+    if us > 0 and cycles == 0:
+        return 1
+    return cycles
+
+
+def cycles_to_us(cycles: float, clock_ghz: float = DEFAULT_CLOCK_GHZ) -> float:
+    """Convert a cycle count to microseconds."""
+    return cycles / cycles_per_us(clock_ghz)
+
+
+def cycles_to_seconds(cycles: float, clock_ghz: float = DEFAULT_CLOCK_GHZ) -> float:
+    """Convert a cycle count to seconds."""
+    return cycles / (clock_ghz * 1e9)
+
+
+def bits_to_kilobytes(bits: int) -> float:
+    """Convert a bit count to kilobytes (1 KB = 8192 bits)."""
+    return bits / (8.0 * KILOBYTE)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Integer log2 of a power of two; raises ValueError otherwise."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1

@@ -1,0 +1,58 @@
+"""Benchmark task-graph generators.
+
+The paper evaluates nine task-based benchmarks (Section IV-B): five from
+PARSECSs (Blackscholes, Dedup, Ferret, Fluidanimate, Streamcluster) and four
+HPC kernels (Cholesky, Histogram, LU, QR).  Running the original binaries is
+impossible in this environment, so each benchmark is re-created as a
+*task-dependence-graph generator* that reproduces its parallelization
+strategy, its dependence structure, its published task count and average
+task duration (Table II), and its granularity knob (Figure 6).
+
+All generators derive from :class:`~repro.workloads.base.Workload` and are
+instantiated by name through :func:`~repro.workloads.registry.create_workload`.
+"""
+
+from .base import GranularityOption, Workload
+from .blocked_matrix import BlockedMatrix
+from .blackscholes import BlackscholesWorkload
+from .cholesky import CholeskyWorkload
+from .dedup import DedupWorkload
+from .ferret import FerretWorkload
+from .fluidanimate import FluidanimateWorkload
+from .histogram import HistogramWorkload
+from .lu import LUWorkload
+from .qr import QRWorkload
+from .streamcluster import StreamclusterWorkload
+from .synthetic import chain_program, fork_join_program, random_dag_program
+from .registry import (
+    PAPER_BENCHMARKS,
+    PAPER_LABELS,
+    PAPER_TABLE2,
+    available_workloads,
+    create_workload,
+    register_workload,
+)
+
+__all__ = [
+    "Workload",
+    "GranularityOption",
+    "BlockedMatrix",
+    "BlackscholesWorkload",
+    "CholeskyWorkload",
+    "DedupWorkload",
+    "FerretWorkload",
+    "FluidanimateWorkload",
+    "HistogramWorkload",
+    "LUWorkload",
+    "QRWorkload",
+    "StreamclusterWorkload",
+    "chain_program",
+    "fork_join_program",
+    "random_dag_program",
+    "PAPER_BENCHMARKS",
+    "PAPER_LABELS",
+    "PAPER_TABLE2",
+    "available_workloads",
+    "create_workload",
+    "register_workload",
+]

@@ -1,0 +1,90 @@
+"""Blackscholes workload (PARSECSs).
+
+The task-based Blackscholes prices a large array of options.  The PARSECSs
+version partitions the options into 64 independent slices; every slice is
+processed by a chain of dependent tasks (each task updates its slice in
+place, so consecutive tasks on the same slice carry an inout dependence),
+and different slices never interact — "Blackscholes is parallelized with 64
+independent chains of dependent tasks" (Section VI-A of the paper).
+
+The granularity knob is the block of options processed per task in KB
+(Figure 6 sweeps 1 KB to 8 KB).  At 4 KB blocks the generator produces 64
+chains of 52 tasks (3328 tasks, Table II reports 3300 at 1770 us); at 2 KB it
+produces 64 chains of 104 tasks (6656 tasks; Table II reports 6500 at 823 us
+for TDM).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..runtime.task import TaskProgram
+from .base import GranularityOption, Workload, inout_dep
+
+#: Number of independent option slices (chains).
+NUM_CHAINS = 64
+#: Tasks per chain at the 4 KB reference granularity.
+REFERENCE_TASKS_PER_CHAIN = 52
+REFERENCE_GRANULARITY_KB = 4
+#: Task duration at the 4 KB reference granularity (Table II).
+REFERENCE_DURATION_US = 1770.0
+OPTIONS_BASE_ADDRESS = 0x40_0000_0000
+
+
+class BlackscholesWorkload(Workload):
+    """64 independent chains of in-place option-pricing tasks."""
+
+    name = "blackscholes"
+    label = "bla"
+    memory_sensitivity = 0.1
+
+    def granularity_options(self) -> Tuple[GranularityOption, ...]:
+        return (
+            GranularityOption(1, "1KB option blocks"),
+            GranularityOption(2, "2KB option blocks"),
+            GranularityOption(4, "4KB option blocks"),
+            GranularityOption(8, "8KB option blocks"),
+        )
+
+    def optimal_granularity(self, runtime: str = "software") -> int:
+        # Table II: software at 4 KB blocks (3300 tasks), TDM at 2 KB (6500).
+        return 2 if runtime == "tdm" else 4
+
+    # ------------------------------------------------------------------ geometry
+    @property
+    def tasks_per_chain(self) -> int:
+        per_chain = REFERENCE_TASKS_PER_CHAIN * REFERENCE_GRANULARITY_KB / self.granularity
+        return self._scaled(max(1, int(round(per_chain))), minimum=1)
+
+    @property
+    def task_duration_us(self) -> float:
+        return REFERENCE_DURATION_US * self.granularity / REFERENCE_GRANULARITY_KB
+
+    # ------------------------------------------------------------------ program
+    def build_program(self) -> TaskProgram:
+        self._reset()
+        tasks = []
+        length = self.tasks_per_chain
+        block_bytes = self.granularity * 1024
+        # Option blocks are contiguous in memory (the option array is simply
+        # partitioned), so different chains' dependence addresses share their
+        # low log2(block) bits — the address pattern that motivates the DAT's
+        # dynamic index-bit selection (Section V-E of the paper).
+        # Tasks are created iteration by iteration (the application loops over
+        # all blocks once per pricing iteration), which chains consecutive
+        # iterations of the same block through their inout dependence.
+        for step in range(length):
+            for chain in range(NUM_CHAINS):
+                block_address = OPTIONS_BASE_ADDRESS + chain * block_bytes
+                tasks.append(
+                    self._task(
+                        f"bs_{chain}_{step}",
+                        "blackscholes",
+                        self.task_duration_us,
+                        [inout_dep(block_address, block_bytes)],
+                    )
+                )
+        return self._single_region(
+            tasks,
+            metadata={"chains": NUM_CHAINS, "tasks_per_chain": length},
+        )

@@ -1,0 +1,122 @@
+"""Cholesky factorization workload (Figure 1 of the paper).
+
+Blocked right-looking Cholesky factorization of a dense 2048x2048 matrix.
+Each iteration ``j`` of the outer loop creates ``sgemm`` updates, ``ssyrk``
+updates of the diagonal block, one ``spotrf`` of the diagonal block and
+``strsm`` panel solves, annotated exactly like the paper's Figure 1 code:
+
+* ``sgemm``:  in A[i][k], A[j][k]; inout A[i][j]
+* ``ssyrk``:  in A[j][i];          inout A[j][j]
+* ``spotrf``:                      inout A[j][j]
+* ``strsm``:  in A[j][j];          inout A[i][j]
+
+With 32x32 blocks of 64x64 elements this yields 32*33*34/6 = 5984 tasks,
+matching Table II.  The granularity knob is the block size in KB (Figure 6
+sweeps 4 KB to 256 KB); task durations scale with the block volume.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..runtime.task import TaskProgram
+from .base import GranularityOption, Workload
+from .blocked_matrix import BlockedMatrix
+
+#: Matrix dimension (elements per side) of the paper's input set.
+MATRIX_ELEMENTS = 2048
+ELEMENT_BYTES = 4
+#: Reference durations (microseconds) for 64x64-element blocks (16 KB).
+REFERENCE_BLOCK_ELEMENTS = 64
+REFERENCE_DURATIONS_US = {"sgemm": 200.0, "ssyrk": 100.0, "strsm": 110.0, "spotrf": 66.0}
+MATRIX_BASE_ADDRESS = 0x10_0000_0000
+
+
+class CholeskyWorkload(Workload):
+    """Tiled Cholesky decomposition of a dense matrix."""
+
+    name = "cholesky"
+    label = "cho"
+    memory_sensitivity = 0.7
+
+    def granularity_options(self) -> Tuple[GranularityOption, ...]:
+        return (
+            GranularityOption(4, "4KB blocks"),
+            GranularityOption(16, "16KB blocks"),
+            GranularityOption(64, "64KB blocks"),
+            GranularityOption(256, "256KB blocks"),
+        )
+
+    def optimal_granularity(self, runtime: str = "software") -> int:
+        # Table II: Cholesky uses the same granularity (5984 tasks) for both.
+        return 16
+
+    # ------------------------------------------------------------------ geometry
+    @property
+    def block_elements(self) -> int:
+        """Block side length in elements for the current granularity (KB)."""
+        block_bytes = self.granularity * 1024
+        side = int(round((block_bytes / ELEMENT_BYTES) ** 0.5))
+        return max(1, side)
+
+    @property
+    def num_blocks(self) -> int:
+        """Blocks per matrix side, after applying the scale factor."""
+        full = max(2, MATRIX_ELEMENTS // self.block_elements)
+        return self._scaled(full, minimum=2, exponent=1.0 / 3.0)
+
+    def _kind_duration_us(self, kind: str) -> float:
+        volume_ratio = (self.block_elements / REFERENCE_BLOCK_ELEMENTS) ** 3
+        return REFERENCE_DURATIONS_US[kind] * volume_ratio
+
+    # ------------------------------------------------------------------ program
+    def build_program(self) -> TaskProgram:
+        self._reset()
+        nb = self.num_blocks
+        matrix = BlockedMatrix(
+            base_address=MATRIX_BASE_ADDRESS,
+            num_blocks=nb,
+            block_bytes=self.block_elements * self.block_elements * ELEMENT_BYTES,
+        )
+        tasks = []
+        for j in range(nb):
+            for k in range(j):
+                for i in range(j + 1, nb):
+                    tasks.append(
+                        self._task(
+                            f"sgemm_{i}_{j}_{k}",
+                            "sgemm",
+                            self._kind_duration_us("sgemm"),
+                            [matrix.read(i, k), matrix.read(j, k), matrix.update(i, j)],
+                        )
+                    )
+            for k in range(j):
+                tasks.append(
+                    self._task(
+                        f"ssyrk_{j}_{k}",
+                        "ssyrk",
+                        self._kind_duration_us("ssyrk"),
+                        [matrix.read(j, k), matrix.update(j, j)],
+                    )
+                )
+            tasks.append(
+                self._task(
+                    f"spotrf_{j}",
+                    "spotrf",
+                    self._kind_duration_us("spotrf"),
+                    [matrix.update(j, j)],
+                )
+            )
+            for i in range(j + 1, nb):
+                tasks.append(
+                    self._task(
+                        f"strsm_{i}_{j}",
+                        "strsm",
+                        self._kind_duration_us("strsm"),
+                        [matrix.read(j, j), matrix.update(i, j)],
+                    )
+                )
+        return self._single_region(
+            tasks,
+            metadata={"num_blocks": nb, "block_elements": self.block_elements},
+        )

@@ -1,0 +1,84 @@
+"""Dedup workload (PARSECSs).
+
+Dedup compresses a data stream with pipeline parallelism.  The PARSECSs
+version creates one compute-intensive task per chunk (fingerprinting +
+compression) followed by a long I/O task that appends the compressed chunk to
+the output file; the I/O tasks are serialized through an inout dependence on
+the output stream (the paper: "I/O tasks cannot be executed in parallel,
+which is enforced by means of control dependencies between them, so
+overlapping I/O with compute tasks maximizes parallelism").
+
+The task granularity is fixed by the application structure (one task per
+pipeline stage and chunk), so the Figure 6 sweep does not include Dedup.  At
+full scale the generator produces 122 compute + 122 I/O = 244 tasks with an
+average duration of about 27.7 ms (Table II).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..runtime.task import TaskProgram
+from .base import GranularityOption, Workload, in_dep, inout_dep, out_dep
+
+NUM_CHUNKS = 122
+COMPUTE_US = 54_200.0
+IO_US = 1_200.0
+INPUT_BASE_ADDRESS = 0x80_0000_0000
+CHUNK_BASE_ADDRESS = 0x88_0000_0000
+OUTPUT_STREAM_ADDRESS = 0x8F_0000_0000
+CHUNK_BYTES = 2 * 1024 * 1024
+COMPRESSED_BYTES = 1024 * 1024
+OUTPUT_BYTES = 4096
+
+
+class DedupWorkload(Workload):
+    """Pipeline of compute (compress) tasks and serialized I/O tasks."""
+
+    name = "dedup"
+    label = "ded"
+    memory_sensitivity = 0.2
+
+    def granularity_options(self) -> Tuple[GranularityOption, ...]:
+        # "In Dedup and Ferret the task granularity cannot be changed without
+        # modifying the application" (Section IV-B).
+        return (GranularityOption(1, "one task per pipeline stage"),)
+
+    def optimal_granularity(self, runtime: str = "software") -> int:
+        return 1
+
+    @property
+    def num_chunks(self) -> int:
+        # The pipeline structure (number of chunks) is what makes scheduler
+        # choice matter, so the scale factor shrinks task durations instead of
+        # the chunk count.
+        return NUM_CHUNKS
+
+    # ------------------------------------------------------------------ program
+    def build_program(self) -> TaskProgram:
+        self._reset()
+        tasks = []
+        chunks = self.num_chunks
+        for chunk in range(chunks):
+            input_address = INPUT_BASE_ADDRESS + chunk * CHUNK_BYTES
+            compressed_address = CHUNK_BASE_ADDRESS + chunk * COMPRESSED_BYTES
+            tasks.append(
+                self._task(
+                    f"dedup_compress_{chunk}",
+                    "compress",
+                    COMPUTE_US * self.scale,
+                    [in_dep(input_address, CHUNK_BYTES), out_dep(compressed_address, COMPRESSED_BYTES)],
+                )
+            )
+            tasks.append(
+                self._task(
+                    f"dedup_write_{chunk}",
+                    "io",
+                    IO_US * self.scale,
+                    [
+                        in_dep(compressed_address, COMPRESSED_BYTES),
+                        inout_dep(OUTPUT_STREAM_ADDRESS, OUTPUT_BYTES),
+                    ],
+                )
+            )
+        return self._single_region(tasks, metadata={"chunks": chunks})

@@ -1,0 +1,88 @@
+"""Ferret workload (PARSECSs).
+
+Ferret performs content-based image similarity search with a six-stage
+pipeline (load, segment, extract, vectorize, rank, output).  Each query
+flows through the six stages; consecutive stages of the same query exchange a
+buffer (out -> in dependence) and the final output stage is serialized on the
+result file (inout), exactly the pipeline-parallel pattern PARSECSs uses.
+
+The task granularity is fixed (one task per stage and query), so Ferret does
+not appear in the Figure 6 sweep.  At full scale the generator produces
+256 queries x 6 stages = 1536 tasks averaging about 7.7 ms (Table II).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..runtime.task import TaskProgram
+from .base import GranularityOption, Workload, in_dep, inout_dep, out_dep
+
+NUM_QUERIES = 256
+#: Stage durations in microseconds (load, segment, extract, vectorize, rank, output).
+#: The serialized output stage is short relative to the compute stages, so the
+#: pipeline is compute bound and scheduler choice matters little — matching
+#: the paper, where Ferret shows minimal speedup and EDP improvements.
+STAGE_DURATIONS_US = (
+    ("load", 2_000.0),
+    ("segment", 8_000.0),
+    ("extract", 12_000.0),
+    ("vectorize", 16_500.0),
+    ("rank", 7_000.0),
+    ("output", 500.0),
+)
+QUERY_BASE_ADDRESS = 0x90_0000_0000
+BUFFER_BASE_ADDRESS = 0x98_0000_0000
+RESULT_FILE_ADDRESS = 0x9F_0000_0000
+QUERY_BYTES = 512 * 1024
+BUFFER_BYTES = 256 * 1024
+RESULT_BYTES = 4096
+
+
+class FerretWorkload(Workload):
+    """Six-stage image-similarity pipeline with a serialized output stage."""
+
+    name = "ferret"
+    label = "fer"
+    memory_sensitivity = 0.3
+
+    def granularity_options(self) -> Tuple[GranularityOption, ...]:
+        return (GranularityOption(1, "one task per pipeline stage"),)
+
+    def optimal_granularity(self, runtime: str = "software") -> int:
+        return 1
+
+    @property
+    def num_queries(self) -> int:
+        # As with Dedup, the pipeline depth is structural: the scale factor
+        # shrinks stage durations rather than the number of queries.
+        return NUM_QUERIES
+
+    # ------------------------------------------------------------------ program
+    def build_program(self) -> TaskProgram:
+        self._reset()
+        tasks = []
+        num_stages = len(STAGE_DURATIONS_US)
+        for query in range(self.num_queries):
+            query_address = QUERY_BASE_ADDRESS + query * QUERY_BYTES
+            for stage_index, (stage_name, duration_us) in enumerate(STAGE_DURATIONS_US):
+                buffer_in = BUFFER_BASE_ADDRESS + (query * num_stages + stage_index - 1) * BUFFER_BYTES
+                buffer_out = BUFFER_BASE_ADDRESS + (query * num_stages + stage_index) * BUFFER_BYTES
+                deps = []
+                if stage_index == 0:
+                    deps.append(in_dep(query_address, QUERY_BYTES))
+                else:
+                    deps.append(in_dep(buffer_in, BUFFER_BYTES))
+                if stage_index == num_stages - 1:
+                    deps.append(inout_dep(RESULT_FILE_ADDRESS, RESULT_BYTES))
+                else:
+                    deps.append(out_dep(buffer_out, BUFFER_BYTES))
+                tasks.append(
+                    self._task(
+                        f"ferret_{stage_name}_{query}",
+                        stage_name,
+                        duration_us * self.scale,
+                        deps,
+                    )
+                )
+        return self._single_region(tasks, metadata={"queries": self.num_queries})

@@ -1,0 +1,89 @@
+"""Fluidanimate workload (PARSECSs).
+
+Fluidanimate is a smoothed-particle-hydrodynamics simulation parallelized as
+a 3D stencil: the volume is split into partitions, every timestep updates
+each partition (inout) using the state of its neighbouring partitions (in),
+and timesteps repeat.  The granularity knob of Figure 6 is the *number of
+partitions* of the 3D volume (more partitions = finer tasks); the paper's
+optimal configuration uses 128 partitions over 20 timesteps = 2560 tasks of
+1804 us (Table II).
+
+Partitions are arranged as slabs, so each task reads its two neighbours —
+the classic 1D-decomposed 3D stencil the PARSECSs implementation uses.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..runtime.task import TaskProgram
+from .base import GranularityOption, Workload, in_dep, inout_dep
+
+REFERENCE_PARTITIONS = 128
+NUM_TIMESTEPS = 20
+#: Total simulation work per timestep, in microseconds (128 x 1804 us).
+WORK_PER_TIMESTEP_US = REFERENCE_PARTITIONS * 1804.0
+PARTITION_BASE_ADDRESS = 0x50_0000_0000
+PARTITION_BYTES = 512 * 1024
+
+
+class FluidanimateWorkload(Workload):
+    """3D-stencil particle simulation over partitioned slabs."""
+
+    name = "fluidanimate"
+    label = "flu"
+    memory_sensitivity = 0.5
+
+    def granularity_options(self) -> Tuple[GranularityOption, ...]:
+        return (
+            GranularityOption(256, "256 partitions"),
+            GranularityOption(128, "128 partitions"),
+            GranularityOption(64, "64 partitions"),
+            GranularityOption(32, "32 partitions"),
+        )
+
+    def optimal_granularity(self, runtime: str = "software") -> int:
+        return REFERENCE_PARTITIONS
+
+    # ------------------------------------------------------------------ geometry
+    @property
+    def num_partitions(self) -> int:
+        return self._scaled(self.granularity, minimum=2)
+
+    @property
+    def num_timesteps(self) -> int:
+        return self._scaled(NUM_TIMESTEPS, minimum=2)
+
+    @property
+    def task_duration_us(self) -> float:
+        return WORK_PER_TIMESTEP_US / self.granularity
+
+    # ------------------------------------------------------------------ program
+    def build_program(self) -> TaskProgram:
+        self._reset()
+        partitions = self.num_partitions
+        timesteps = self.num_timesteps
+        tasks = []
+
+        def partition_address(index: int) -> int:
+            return PARTITION_BASE_ADDRESS + index * PARTITION_BYTES
+
+        for _step in range(timesteps):
+            for part in range(partitions):
+                deps = [inout_dep(partition_address(part), PARTITION_BYTES)]
+                if part > 0:
+                    deps.append(in_dep(partition_address(part - 1), PARTITION_BYTES))
+                if part < partitions - 1:
+                    deps.append(in_dep(partition_address(part + 1), PARTITION_BYTES))
+                tasks.append(
+                    self._task(
+                        f"flu_{_step}_{part}",
+                        "stencil",
+                        self.task_duration_us,
+                        deps,
+                    )
+                )
+        return self._single_region(
+            tasks,
+            metadata={"partitions": partitions, "timesteps": timesteps},
+        )

@@ -1,0 +1,115 @@
+"""Histogram workload.
+
+"Histogram computes a cumulative histogram for all pixels of an image"
+(Section IV-B of the paper): a 4096x4096 image (64 MB) is split into blocks;
+one leaf task per block computes a partial histogram, and a binary reduction
+tree combines the partials into the final cumulative histogram.
+
+The reduction pairs partial results that are far apart in creation order
+(block ``i`` merges with block ``i + stride``), which gives the benchmark the
+property the paper highlights in the design-space exploration: "its tasks
+have a significant amount of dependences between them and the distance
+between independent tasks is high", making it the benchmark most sensitive to
+the TAT size (Figure 7).
+
+The granularity knob is the image block size in KB; at the optimal 256 KB
+blocks the generator produces 256 leaves + 255 reduction tasks = 511 tasks
+(Table II reports 512 at 3824 us).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..runtime.task import TaskProgram
+from .base import GranularityOption, Workload, in_dep, out_dep
+
+IMAGE_BYTES = 64 * 1024 * 1024
+IMAGE_BASE_ADDRESS = 0x60_0000_0000
+PARTIAL_BASE_ADDRESS = 0x68_0000_0000
+PARTIAL_BYTES = 4096
+#: Leaf duration at the 256 KB reference block (microseconds).
+REFERENCE_LEAF_US = 7200.0
+REFERENCE_BLOCK_KB = 256
+REDUCE_US = 430.0
+
+
+class HistogramWorkload(Workload):
+    """Per-block histograms followed by a binary reduction tree."""
+
+    name = "histogram"
+    label = "hist"
+    memory_sensitivity = 0.6
+
+    def granularity_options(self) -> Tuple[GranularityOption, ...]:
+        return (
+            GranularityOption(16, "16KB blocks"),
+            GranularityOption(64, "64KB blocks"),
+            GranularityOption(256, "256KB blocks"),
+            GranularityOption(1024, "1MB blocks"),
+        )
+
+    def optimal_granularity(self, runtime: str = "software") -> int:
+        return REFERENCE_BLOCK_KB
+
+    # ------------------------------------------------------------------ geometry
+    @property
+    def num_blocks(self) -> int:
+        full = max(2, IMAGE_BYTES // (self.granularity * 1024))
+        return self._scaled(full, minimum=2)
+
+    @property
+    def leaf_duration_us(self) -> float:
+        return REFERENCE_LEAF_US * self.granularity / REFERENCE_BLOCK_KB
+
+    # ------------------------------------------------------------------ program
+    def build_program(self) -> TaskProgram:
+        self._reset()
+        blocks = self.num_blocks
+        block_bytes = self.granularity * 1024
+        tasks = []
+
+        def partial_address(index: int) -> int:
+            return PARTIAL_BASE_ADDRESS + index * PARTIAL_BYTES
+
+        # Leaf tasks: one partial histogram per image block.
+        live: List[int] = []
+        for block in range(blocks):
+            image_address = IMAGE_BASE_ADDRESS + block * block_bytes
+            tasks.append(
+                self._task(
+                    f"hist_leaf_{block}",
+                    "leaf",
+                    self.leaf_duration_us,
+                    [in_dep(image_address, block_bytes), out_dep(partial_address(block), PARTIAL_BYTES)],
+                )
+            )
+            live.append(block)
+
+        # Binary reduction tree over partials that are far apart in creation
+        # order (long dependence distance).
+        next_partial = blocks
+        while len(live) > 1:
+            half = len(live) // 2
+            merged: List[int] = []
+            for index in range(half):
+                left = live[index]
+                right = live[index + half]
+                tasks.append(
+                    self._task(
+                        f"hist_reduce_{next_partial}",
+                        "reduce",
+                        REDUCE_US,
+                        [
+                            in_dep(partial_address(left), PARTIAL_BYTES),
+                            in_dep(partial_address(right), PARTIAL_BYTES),
+                            out_dep(partial_address(next_partial), PARTIAL_BYTES),
+                        ],
+                    )
+                )
+                merged.append(next_partial)
+                next_partial += 1
+            if len(live) % 2:
+                merged.append(live[-1])
+            live = merged
+        return self._single_region(tasks, metadata={"blocks": blocks})

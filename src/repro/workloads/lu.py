@@ -1,0 +1,117 @@
+"""LU factorization workload.
+
+Tiled LU decomposition (without pivoting) of a 2048x2048 matrix.  Every outer
+iteration ``k`` factorizes the diagonal block, solves the row and column
+panels against it and updates the trailing submatrix:
+
+* ``getrf``:   inout A[k][k]
+* ``trsm_row``: in A[k][k]; inout A[k][j]   (j > k)
+* ``trsm_col``: in A[k][k]; inout A[i][k]   (i > k)
+* ``gemm``:    in A[i][k], A[k][j]; inout A[i][j]   (i, j > k)
+
+At 16x16 blocks of 128x128 elements this yields 1496 tasks; Table II reports
+1512 for the paper's (sparse) LU, a 1% difference documented in
+EXPERIMENTS.md.  The granularity knob is the block size in KB.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..runtime.task import TaskProgram
+from .base import GranularityOption, Workload
+from .blocked_matrix import BlockedMatrix
+
+MATRIX_ELEMENTS = 2048
+ELEMENT_BYTES = 4
+#: Reference durations (microseconds) for 128x128-element blocks (64 KB).
+REFERENCE_BLOCK_ELEMENTS = 128
+REFERENCE_DURATIONS_US = {"gemm": 456.0, "trsm": 273.0, "getrf": 182.0}
+MATRIX_BASE_ADDRESS = 0x20_0000_0000
+
+
+class LUWorkload(Workload):
+    """Tiled LU decomposition."""
+
+    name = "lu"
+    label = "LU"
+    memory_sensitivity = 0.5
+
+    def granularity_options(self) -> Tuple[GranularityOption, ...]:
+        return (
+            GranularityOption(4, "4KB blocks"),
+            GranularityOption(16, "16KB blocks"),
+            GranularityOption(64, "64KB blocks"),
+            GranularityOption(256, "256KB blocks"),
+        )
+
+    def optimal_granularity(self, runtime: str = "software") -> int:
+        # Table II: LU uses the same granularity (and task count) for both.
+        return 64
+
+    # ------------------------------------------------------------------ geometry
+    @property
+    def block_elements(self) -> int:
+        block_bytes = self.granularity * 1024
+        return max(1, int(round((block_bytes / ELEMENT_BYTES) ** 0.5)))
+
+    @property
+    def num_blocks(self) -> int:
+        full = max(2, MATRIX_ELEMENTS // self.block_elements)
+        return self._scaled(full, minimum=2, exponent=1.0 / 3.0)
+
+    def _kind_duration_us(self, kind: str) -> float:
+        volume_ratio = (self.block_elements / REFERENCE_BLOCK_ELEMENTS) ** 3
+        return REFERENCE_DURATIONS_US[kind] * volume_ratio
+
+    # ------------------------------------------------------------------ program
+    def build_program(self) -> TaskProgram:
+        self._reset()
+        nb = self.num_blocks
+        matrix = BlockedMatrix(
+            base_address=MATRIX_BASE_ADDRESS,
+            num_blocks=nb,
+            block_bytes=self.block_elements * self.block_elements * ELEMENT_BYTES,
+        )
+        tasks = []
+        for k in range(nb):
+            tasks.append(
+                self._task(
+                    f"getrf_{k}",
+                    "getrf",
+                    self._kind_duration_us("getrf"),
+                    [matrix.update(k, k)],
+                )
+            )
+            for j in range(k + 1, nb):
+                tasks.append(
+                    self._task(
+                        f"trsm_row_{k}_{j}",
+                        "trsm",
+                        self._kind_duration_us("trsm"),
+                        [matrix.read(k, k), matrix.update(k, j)],
+                    )
+                )
+            for i in range(k + 1, nb):
+                tasks.append(
+                    self._task(
+                        f"trsm_col_{i}_{k}",
+                        "trsm",
+                        self._kind_duration_us("trsm"),
+                        [matrix.read(k, k), matrix.update(i, k)],
+                    )
+                )
+            for i in range(k + 1, nb):
+                for j in range(k + 1, nb):
+                    tasks.append(
+                        self._task(
+                            f"gemm_{i}_{j}_{k}",
+                            "gemm",
+                            self._kind_duration_us("gemm"),
+                            [matrix.read(i, k), matrix.read(k, j), matrix.update(i, j)],
+                        )
+                    )
+        return self._single_region(
+            tasks,
+            metadata={"num_blocks": nb, "block_elements": self.block_elements},
+        )

@@ -1,0 +1,128 @@
+"""QR factorization workload.
+
+Tiled Householder QR factorization of a dense 1024x1024 matrix (the paper's
+input set), using the standard tile algorithm:
+
+* ``geqrt``:  inout A[k][k]; out T[k][k]
+* ``unmqr``:  in A[k][k], T[k][k]; inout A[k][j]          (j > k)
+* ``tsqrt``:  inout A[k][k]; inout A[i][k]; out T[i][k]   (i > k)
+* ``tsmqr``:  in A[i][k], T[i][k]; inout A[k][j], A[i][j] (i, j > k)
+
+At 16x16 tiles of 64x64 elements this yields 1496 tasks (the software
+runtime's optimal granularity in Table II); at 32x32 tiles of 32x32 elements
+it yields 11440 tasks (the granularity TDM uses).  QR is the benchmark where
+fine-grained tasking pays off the most — and where software task-creation
+overheads hurt the most — because the panel factorization serializes each
+column and only small tiles expose enough parallelism for 32 cores.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..runtime.task import TaskProgram
+from .base import GranularityOption, Workload
+from .blocked_matrix import BlockedMatrix
+
+MATRIX_ELEMENTS = 1024
+ELEMENT_BYTES = 4
+#: Reference durations (microseconds) for 64x64-element tiles (16 KB).
+REFERENCE_BLOCK_ELEMENTS = 64
+REFERENCE_DURATIONS_US = {
+    "tsmqr": 1088.0,
+    "unmqr": 544.0,
+    "tsqrt": 598.0,
+    "geqrt": 326.0,
+}
+MATRIX_BASE_ADDRESS = 0x30_0000_0000
+REFLECTOR_BASE_ADDRESS = 0x38_0000_0000
+
+
+class QRWorkload(Workload):
+    """Tiled Householder QR factorization."""
+
+    name = "qr"
+    label = "QR"
+    memory_sensitivity = 0.4
+
+    def granularity_options(self) -> Tuple[GranularityOption, ...]:
+        return (
+            GranularityOption(2, "2KB tiles"),
+            GranularityOption(4, "4KB tiles"),
+            GranularityOption(16, "16KB tiles"),
+            GranularityOption(64, "64KB tiles"),
+            GranularityOption(256, "256KB tiles"),
+        )
+
+    def optimal_granularity(self, runtime: str = "software") -> int:
+        # Table II: software uses 16 KB tiles (1496 tasks), TDM 4 KB (11440).
+        return 4 if runtime == "tdm" else 16
+
+    # ------------------------------------------------------------------ geometry
+    @property
+    def block_elements(self) -> int:
+        block_bytes = self.granularity * 1024
+        return max(1, int(round((block_bytes / ELEMENT_BYTES) ** 0.5)))
+
+    @property
+    def num_blocks(self) -> int:
+        full = max(2, MATRIX_ELEMENTS // self.block_elements)
+        return self._scaled(full, minimum=2, exponent=1.0 / 3.0)
+
+    def _kind_duration_us(self, kind: str) -> float:
+        volume_ratio = (self.block_elements / REFERENCE_BLOCK_ELEMENTS) ** 3
+        return REFERENCE_DURATIONS_US[kind] * volume_ratio
+
+    # ------------------------------------------------------------------ program
+    def build_program(self) -> TaskProgram:
+        self._reset()
+        nb = self.num_blocks
+        block_bytes = self.block_elements * self.block_elements * ELEMENT_BYTES
+        matrix = BlockedMatrix(MATRIX_BASE_ADDRESS, nb, block_bytes, name="A")
+        reflectors = BlockedMatrix(REFLECTOR_BASE_ADDRESS, nb, block_bytes, name="T")
+        tasks = []
+        for k in range(nb):
+            tasks.append(
+                self._task(
+                    f"geqrt_{k}",
+                    "geqrt",
+                    self._kind_duration_us("geqrt"),
+                    [matrix.update(k, k), reflectors.write(k, k)],
+                )
+            )
+            for j in range(k + 1, nb):
+                tasks.append(
+                    self._task(
+                        f"unmqr_{k}_{j}",
+                        "unmqr",
+                        self._kind_duration_us("unmqr"),
+                        [matrix.read(k, k), reflectors.read(k, k), matrix.update(k, j)],
+                    )
+                )
+            for i in range(k + 1, nb):
+                tasks.append(
+                    self._task(
+                        f"tsqrt_{i}_{k}",
+                        "tsqrt",
+                        self._kind_duration_us("tsqrt"),
+                        [matrix.update(k, k), matrix.update(i, k), reflectors.write(i, k)],
+                    )
+                )
+                for j in range(k + 1, nb):
+                    tasks.append(
+                        self._task(
+                            f"tsmqr_{i}_{j}_{k}",
+                            "tsmqr",
+                            self._kind_duration_us("tsmqr"),
+                            [
+                                matrix.read(i, k),
+                                reflectors.read(i, k),
+                                matrix.update(k, j),
+                                matrix.update(i, j),
+                            ],
+                        )
+                    )
+        return self._single_region(
+            tasks,
+            metadata={"num_blocks": nb, "block_elements": self.block_elements},
+        )

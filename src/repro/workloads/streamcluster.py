@@ -1,0 +1,89 @@
+"""Streamcluster workload (PARSECSs).
+
+Streamcluster solves an online clustering problem with fork-join parallelism:
+every evaluation of a candidate centre fans a batch of points out over
+independent tasks and joins before the next decision.  The generator models
+this as a sequence of parallel regions (the fork-join barriers), each region
+containing one independent task per block of points.
+
+The granularity knob of Figure 6 is the number of points processed per task;
+at the optimal 256 points per task the generator produces about 410 rounds
+of 102 tasks = 41 820 tasks of 376 us (Table II reports 42 115), the largest
+task count of the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..runtime.task import TaskProgram, TaskRegion
+from .base import GranularityOption, Workload, in_dep, out_dep
+
+#: Points evaluated per fork-join round.
+POINTS_PER_ROUND = 26_112
+NUM_ROUNDS = 410
+REFERENCE_POINTS_PER_TASK = 256
+#: Duration of a task processing 256 points (Table II).
+REFERENCE_DURATION_US = 376.0
+POINT_BASE_ADDRESS = 0x70_0000_0000
+RESULT_BASE_ADDRESS = 0x78_0000_0000
+BYTES_PER_POINT = 64
+RESULT_BYTES = 256
+
+
+class StreamclusterWorkload(Workload):
+    """Fork-join rounds of independent point-evaluation tasks."""
+
+    name = "streamcluster"
+    label = "str"
+    memory_sensitivity = 0.3
+
+    def granularity_options(self) -> Tuple[GranularityOption, ...]:
+        return (
+            GranularityOption(64, "64 points/task"),
+            GranularityOption(128, "128 points/task"),
+            GranularityOption(256, "256 points/task"),
+            GranularityOption(512, "512 points/task"),
+            GranularityOption(1024, "1024 points/task"),
+        )
+
+    def optimal_granularity(self, runtime: str = "software") -> int:
+        return REFERENCE_POINTS_PER_TASK
+
+    # ------------------------------------------------------------------ geometry
+    @property
+    def tasks_per_round(self) -> int:
+        return max(1, POINTS_PER_ROUND // self.granularity)
+
+    @property
+    def num_rounds(self) -> int:
+        return self._scaled(NUM_ROUNDS, minimum=2)
+
+    @property
+    def task_duration_us(self) -> float:
+        return REFERENCE_DURATION_US * self.granularity / REFERENCE_POINTS_PER_TASK
+
+    # ------------------------------------------------------------------ program
+    def build_program(self) -> TaskProgram:
+        self._reset()
+        regions = []
+        tasks_per_round = self.tasks_per_round
+        block_bytes = self.granularity * BYTES_PER_POINT
+        for round_index in range(self.num_rounds):
+            tasks = []
+            for block in range(tasks_per_round):
+                point_address = POINT_BASE_ADDRESS + block * block_bytes
+                result_address = RESULT_BASE_ADDRESS + (round_index % 2) * 0x100_0000 + block * RESULT_BYTES
+                tasks.append(
+                    self._task(
+                        f"str_{round_index}_{block}",
+                        "gain",
+                        self.task_duration_us,
+                        [in_dep(point_address, block_bytes), out_dep(result_address, RESULT_BYTES)],
+                    )
+                )
+            regions.append(TaskRegion(tasks=tuple(tasks), name=f"round{round_index}"))
+        return self._program(
+            regions,
+            metadata={"rounds": self.num_rounds, "tasks_per_round": tasks_per_round},
+        )

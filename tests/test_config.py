@@ -1,0 +1,148 @@
+"""Configuration objects: defaults, validation and helpers."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    ChipConfig,
+    CoreConfig,
+    CostModelConfig,
+    DMUConfig,
+    LocalityConfig,
+    SimulationConfig,
+    default_paper_config,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDMUConfig:
+    def test_defaults_match_table1(self):
+        dmu = DMUConfig()
+        assert dmu.tat_entries == 2048
+        assert dmu.dat_entries == 2048
+        assert dmu.tat_associativity == 8
+        assert dmu.successor_list_entries == 1024
+        assert dmu.dependence_list_entries == 1024
+        assert dmu.reader_list_entries == 1024
+        assert dmu.elements_per_list_entry == 8
+        assert dmu.access_cycles == 1
+
+    def test_task_table_mirrors_tat(self):
+        dmu = DMUConfig(tat_entries=512, dat_entries=1024)
+        assert dmu.task_table_entries == 512
+        assert dmu.dependence_table_entries == 1024
+
+    def test_id_bits_default(self):
+        dmu = DMUConfig()
+        assert dmu.task_id_bits == 11
+        assert dmu.dependence_id_bits == 11
+
+    def test_id_bits_small_tables(self):
+        dmu = DMUConfig(tat_entries=256, dat_entries=512)
+        assert dmu.task_id_bits == 8
+        assert dmu.dependence_id_bits == 9
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DMUConfig(tat_entries=1000).validate()
+
+    def test_associativity_larger_than_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DMUConfig(tat_entries=4, tat_associativity=8).validate()
+
+    def test_bad_index_selection_rejected(self):
+        dmu = dataclasses.replace(DMUConfig(), index_selection="weird")
+        with pytest.raises(ConfigurationError):
+            dmu.validate()
+
+    def test_negative_access_cycles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DMUConfig(access_cycles=-1).validate()
+
+    def test_ideal_is_effectively_unlimited(self):
+        ideal = DMUConfig.ideal()
+        ideal.validate()
+        assert ideal.unlimited
+        assert ideal.tat_entries >= 1 << 20
+
+    def test_with_sizes(self):
+        dmu = DMUConfig().with_sizes(tat_entries=4096)
+        assert dmu.tat_entries == 4096
+        assert dmu.dat_entries == 2048
+
+
+class TestChipConfig:
+    def test_defaults(self):
+        chip = ChipConfig()
+        assert chip.num_cores == 32
+        assert chip.clock_ghz == 2.0
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChipConfig(num_cores=0).validate()
+
+    def test_core_power_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(active_power_watts=0.1, idle_power_watts=0.5).validate()
+
+
+class TestCostModelConfig:
+    def test_default_validates(self):
+        CostModelConfig().validate()
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModelConfig(sw_dep_base_cycles=-1).validate()
+
+
+class TestLocalityConfig:
+    def test_default_validates(self):
+        LocalityConfig().validate()
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalityConfig(max_speedup_fraction=1.5).validate()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalityConfig(tracked_blocks_per_core=0).validate()
+
+
+class TestSimulationConfig:
+    def test_default_paper_config(self):
+        config = default_paper_config()
+        assert config.chip.num_cores == 32
+        assert config.runtime == "tdm"
+        assert config.scheduler == "fifo"
+
+    def test_unknown_runtime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(runtime="magic").validate()
+
+    def test_with_runtime_and_scheduler(self):
+        config = default_paper_config().with_runtime("software", "age")
+        assert config.runtime == "software"
+        assert config.scheduler == "age"
+
+    def test_with_scheduler_only(self):
+        config = default_paper_config().with_scheduler("lifo")
+        assert config.scheduler == "lifo"
+        assert config.runtime == "tdm"
+
+    def test_with_dmu(self):
+        dmu = DMUConfig(tat_entries=512)
+        config = default_paper_config().with_dmu(dmu)
+        assert config.dmu.tat_entries == 512
+
+    def test_validated_returns_self(self):
+        config = SimulationConfig()
+        assert config.validated() is config
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(seed=-1).validate()
+
+    def test_zero_max_cycles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(max_cycles=0).validate()

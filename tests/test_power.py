@@ -1,0 +1,96 @@
+"""Power, energy and EDP models."""
+
+import pytest
+
+from repro.config import ChipConfig, CoreConfig, DMUConfig
+from repro.core.stats import DMUStats
+from repro.core.storage import DMUStorageModel
+from repro.power.energy import ChipEnergyModel, EnergyReport, edp, normalized_edp
+from repro.sim.machine import run_simulation
+from repro.sim.timeline import Phase, ThreadTimeline, Timeline
+
+from tests.util import diamond_program, make_config
+
+
+def _timeline(exec_cycles=1000, idle_cycles=1000, deps_cycles=0, threads=2):
+    all_threads = []
+    for thread_id in range(threads):
+        timeline = ThreadTimeline(thread_id)
+        timeline.add(Phase.EXEC, 0, exec_cycles)
+        timeline.add(Phase.DEPS, exec_cycles, exec_cycles + deps_cycles)
+        timeline.add(
+            Phase.IDLE, exec_cycles + deps_cycles, exec_cycles + deps_cycles + idle_cycles
+        )
+        all_threads.append(timeline)
+    return Timeline(all_threads, end_cycle=exec_cycles + deps_cycles + idle_cycles)
+
+
+class TestChipEnergyModel:
+    def test_energy_positive_and_additive(self):
+        model = ChipEnergyModel(ChipConfig(num_cores=2), DMUStorageModel(DMUConfig()))
+        report = model.report(_timeline(), DMUStats())
+        assert report.core_energy_mj > 0
+        assert report.uncore_energy_mj > 0
+        assert report.total_energy_mj == pytest.approx(
+            report.core_energy_mj + report.uncore_energy_mj + report.dmu_energy_mj
+        )
+
+    def test_busy_threads_consume_more_than_idle_threads(self):
+        model = ChipEnergyModel(ChipConfig(num_cores=2))
+        busy = model.core_energy_mj(_timeline(exec_cycles=10_000, idle_cycles=0))
+        idle = model.core_energy_mj(_timeline(exec_cycles=0, idle_cycles=10_000))
+        assert busy > idle
+
+    def test_runtime_phase_power_between_active_and_idle(self):
+        core = CoreConfig()
+        model = ChipEnergyModel(ChipConfig(num_cores=1, core=core))
+        runtime_heavy = model.core_energy_mj(_timeline(exec_cycles=0, deps_cycles=10_000, idle_cycles=0, threads=1))
+        exec_heavy = model.core_energy_mj(_timeline(exec_cycles=10_000, deps_cycles=0, idle_cycles=0, threads=1))
+        idle_only = model.core_energy_mj(_timeline(exec_cycles=0, deps_cycles=0, idle_cycles=10_000, threads=1))
+        assert idle_only < runtime_heavy < exec_heavy
+
+    def test_dmu_energy_negligible_but_positive(self):
+        model = ChipEnergyModel(ChipConfig(), DMUStorageModel(DMUConfig()))
+        stats = DMUStats()
+        stats.record_access("TAT", 1000)
+        report = model.report(_timeline(threads=32), stats)
+        assert report.dmu_energy_mj > 0
+        assert report.dmu_power_fraction < 0.01
+
+    def test_no_dmu_storage_means_zero_dmu_energy(self):
+        model = ChipEnergyModel(ChipConfig())
+        report = model.report(_timeline(), None)
+        assert report.dmu_energy_mj == 0.0
+
+
+class TestEdpHelpers:
+    def test_edp_product(self):
+        assert edp(10.0, 2.0) == 20.0
+
+    def test_normalized_edp(self):
+        a = EnergyReport(1.0, 10.0, 2.0, 0.0)
+        b = EnergyReport(2.0, 10.0, 2.0, 0.0)
+        assert normalized_edp(a, b) == pytest.approx(0.5)
+
+    def test_normalized_edp_zero_baseline_rejected(self):
+        zero = EnergyReport(0.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            normalized_edp(zero, zero)
+
+    def test_report_average_power(self):
+        report = EnergyReport(2.0, 1000.0, 1000.0, 0.0)
+        assert report.average_power_watts == pytest.approx(1.0)
+
+
+class TestEndToEndEnergy:
+    def test_faster_run_has_lower_edp(self):
+        program = diamond_program(work_us=200.0)
+        software = run_simulation(program, make_config(runtime="software"))
+        tdm = run_simulation(program, make_config(runtime="tdm"))
+        if tdm.total_cycles < software.total_cycles:
+            assert tdm.edp < software.edp
+
+    def test_paper_claim_dmu_power_below_a_tenth_of_percent(self):
+        program = diamond_program(work_us=500.0)
+        tdm = run_simulation(program, make_config(runtime="tdm"))
+        assert tdm.energy.dmu_power_fraction < 0.001

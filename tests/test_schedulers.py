@@ -1,0 +1,178 @@
+"""Software scheduling policies and the scheduler registry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.schedulers import (
+    AgeScheduler,
+    FifoScheduler,
+    LifoScheduler,
+    LocalityScheduler,
+    ReadyEntry,
+    SuccessorScheduler,
+    available_schedulers,
+    create_scheduler,
+    register_scheduler,
+)
+from repro.schedulers.base import Scheduler
+
+
+def entry(task, creation_seq=0, ready_seq=0, successor_count=0, producer_core=None):
+    return ReadyEntry(
+        task=task,
+        creation_seq=creation_seq,
+        ready_seq=ready_seq,
+        successor_count=successor_count,
+        producer_core=producer_core,
+    )
+
+
+class TestFifoLifo:
+    def test_fifo_pops_in_push_order(self):
+        scheduler = FifoScheduler()
+        for index in range(3):
+            scheduler.push(entry(f"t{index}", ready_seq=index))
+        assert [scheduler.pop(0).task for _ in range(3)] == ["t0", "t1", "t2"]
+
+    def test_lifo_pops_in_reverse_order(self):
+        scheduler = LifoScheduler()
+        for index in range(3):
+            scheduler.push(entry(f"t{index}", ready_seq=index))
+        assert [scheduler.pop(0).task for _ in range(3)] == ["t2", "t1", "t0"]
+
+    def test_pop_empty_returns_none(self):
+        assert FifoScheduler().pop(0) is None
+        assert LifoScheduler().pop(0) is None
+
+
+class TestLocality:
+    def test_prefers_entries_produced_on_requesting_core(self):
+        scheduler = LocalityScheduler()
+        scheduler.push(entry("global", producer_core=None))
+        scheduler.push(entry("mine", producer_core=3))
+        assert scheduler.pop(3).task == "mine"
+        assert scheduler.pop(3).task == "global"
+
+    def test_falls_back_to_global_queue(self):
+        scheduler = LocalityScheduler()
+        scheduler.push(entry("global", producer_core=None))
+        assert scheduler.pop(7).task == "global"
+
+    def test_steals_from_other_cores_when_nothing_local(self):
+        scheduler = LocalityScheduler()
+        scheduler.push(entry("a", producer_core=1))
+        scheduler.push(entry("b", producer_core=1))
+        scheduler.push(entry("c", producer_core=2))
+        # Core 5 has no local work and the global queue is empty: steal from
+        # the most loaded per-core queue (core 1).
+        assert scheduler.pop(5).task == "a"
+        assert len(scheduler) == 2
+
+    def test_len_tracks_all_queues(self):
+        scheduler = LocalityScheduler()
+        scheduler.push(entry("a", producer_core=0))
+        scheduler.push(entry("b"))
+        assert len(scheduler) == 2
+        scheduler.pop(0)
+        scheduler.pop(0)
+        assert scheduler.pop(0) is None
+        assert len(scheduler) == 0
+
+
+class TestSuccessor:
+    def test_high_priority_for_many_successors(self):
+        scheduler = SuccessorScheduler(threshold=1)
+        scheduler.push(entry("narrow", successor_count=1))
+        scheduler.push(entry("wide", successor_count=5))
+        assert scheduler.pop(0).task == "wide"
+        assert scheduler.pop(0).task == "narrow"
+
+    def test_fifo_within_priority_class(self):
+        scheduler = SuccessorScheduler(threshold=0)
+        scheduler.push(entry("a", successor_count=2))
+        scheduler.push(entry("b", successor_count=2))
+        assert scheduler.pop(0).task == "a"
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SuccessorScheduler(threshold=-1)
+
+
+class TestAge:
+    def test_oldest_creation_first(self):
+        scheduler = AgeScheduler()
+        scheduler.push(entry("young", creation_seq=10))
+        scheduler.push(entry("old", creation_seq=2))
+        scheduler.push(entry("middle", creation_seq=5))
+        assert [scheduler.pop(0).task for _ in range(3)] == ["old", "middle", "young"]
+
+    def test_stable_for_equal_age(self):
+        scheduler = AgeScheduler()
+        scheduler.push(entry("first", creation_seq=1))
+        scheduler.push(entry("second", creation_seq=1))
+        assert scheduler.pop(0).task == "first"
+
+
+class TestRegistry:
+    def test_paper_schedulers_available(self):
+        names = available_schedulers()
+        for name in ("fifo", "lifo", "locality", "successor", "age"):
+            assert name in names
+
+    def test_create_by_name(self):
+        assert isinstance(create_scheduler("fifo"), FifoScheduler)
+        assert isinstance(create_scheduler("AGE"), AgeScheduler)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            create_scheduler("round_robin")
+
+    def test_register_custom_scheduler(self):
+        class EchoScheduler(FifoScheduler):
+            name = "echo_test"
+
+        register_scheduler("echo_test", EchoScheduler, replace=True)
+        assert isinstance(create_scheduler("echo_test"), EchoScheduler)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_scheduler("fifo", FifoScheduler)
+
+
+class TestConservationProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        scheduler_name=st.sampled_from(["fifo", "lifo", "locality", "successor", "age"]),
+        pushes=st.lists(
+            st.tuples(
+                st.integers(0, 100),        # creation_seq
+                st.integers(0, 6),          # successor_count
+                st.one_of(st.none(), st.integers(0, 7)),  # producer core
+            ),
+            max_size=40,
+        ),
+        core=st.integers(0, 7),
+    )
+    def test_every_pushed_entry_is_popped_exactly_once(self, scheduler_name, pushes, core):
+        scheduler: Scheduler = create_scheduler(scheduler_name)
+        pushed = []
+        for index, (creation_seq, successors, producer) in enumerate(pushes):
+            item = entry(
+                f"task{index}",
+                creation_seq=creation_seq,
+                ready_seq=index,
+                successor_count=successors,
+                producer_core=producer,
+            )
+            scheduler.push(item)
+            pushed.append(item.task)
+        popped = []
+        while True:
+            item = scheduler.pop(core)
+            if item is None:
+                break
+            popped.append(item.task)
+        assert sorted(popped) == sorted(pushed)
+        assert len(scheduler) == 0

@@ -1,0 +1,100 @@
+"""NoC latency model and per-core locality model."""
+
+import pytest
+
+from repro.config import LocalityConfig
+from repro.sim.locality import CoreLocalityTracker, LocalityModel
+from repro.sim.noc import NocModel
+
+
+class TestNoc:
+    def test_round_trip_positive_for_all_cores(self):
+        noc = NocModel(num_cores=32)
+        for core in range(32):
+            assert noc.round_trip_cycles(core) > 0
+
+    def test_center_core_is_closest(self):
+        noc = NocModel(num_cores=32)
+        trips = [noc.round_trip_cycles(core) for core in range(32)]
+        side = noc.mesh_side()
+        center = (side // 2) * side + side // 2
+        assert trips[center] == min(trips)
+
+    def test_out_of_range_core_rejected(self):
+        noc = NocModel(num_cores=4)
+        with pytest.raises(ValueError):
+            noc.round_trip_cycles(4)
+
+    def test_average_round_trip_between_min_and_max(self):
+        noc = NocModel(num_cores=16)
+        trips = [noc.round_trip_cycles(core) for core in range(16)]
+        assert min(trips) <= noc.average_round_trip_cycles() <= max(trips)
+
+
+class TestCoreLocalityTracker:
+    def test_touch_and_hit(self):
+        tracker = CoreLocalityTracker(capacity=4)
+        tracker.touch([1, 2, 3])
+        assert tracker.hit_fraction([1, 2]) == 1.0
+        assert tracker.hit_fraction([9]) == 0.0
+        assert tracker.hit_fraction([1, 9]) == 0.5
+
+    def test_lru_eviction(self):
+        tracker = CoreLocalityTracker(capacity=2)
+        tracker.touch([1, 2])
+        tracker.touch([3])
+        assert 1 not in tracker
+        assert 2 in tracker and 3 in tracker
+
+    def test_touch_refreshes_recency(self):
+        tracker = CoreLocalityTracker(capacity=2)
+        tracker.touch([1, 2])
+        tracker.touch([1])
+        tracker.touch([3])
+        assert 1 in tracker
+        assert 2 not in tracker
+
+    def test_empty_addresses_hit_fraction_zero(self):
+        assert CoreLocalityTracker(4).hit_fraction([]) == 0.0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CoreLocalityTracker(0)
+
+
+class TestLocalityModel:
+    def test_reuse_on_same_core_speeds_up_execution(self):
+        model = LocalityModel(2, LocalityConfig(max_speedup_fraction=0.2))
+        first = model.execution_cycles(0, 10_000, [1, 2], memory_sensitivity=1.0)
+        assert first == 10_000  # cold: no reuse yet
+        second = model.execution_cycles(0, 10_000, [1, 2], memory_sensitivity=1.0)
+        assert second == 8_000
+
+    def test_no_speedup_on_other_core(self):
+        model = LocalityModel(2, LocalityConfig(max_speedup_fraction=0.2))
+        model.execution_cycles(0, 10_000, [1, 2], memory_sensitivity=1.0)
+        other = model.execution_cycles(1, 10_000, [1, 2], memory_sensitivity=1.0)
+        assert other == 10_000
+
+    def test_compute_bound_tasks_unaffected(self):
+        model = LocalityModel(1, LocalityConfig(max_speedup_fraction=0.2))
+        model.execution_cycles(0, 10_000, [1], memory_sensitivity=0.0)
+        again = model.execution_cycles(0, 10_000, [1], memory_sensitivity=0.0)
+        assert again == 10_000
+
+    def test_disabled_model_never_adjusts(self):
+        model = LocalityModel(1, LocalityConfig(enabled=False))
+        model.execution_cycles(0, 10_000, [1], memory_sensitivity=1.0)
+        assert model.execution_cycles(0, 10_000, [1], memory_sensitivity=1.0) == 10_000
+
+    def test_average_hit_fraction_tracks_history(self):
+        model = LocalityModel(1, LocalityConfig())
+        model.execution_cycles(0, 1_000, [1], memory_sensitivity=1.0)
+        model.execution_cycles(0, 1_000, [1], memory_sensitivity=1.0)
+        assert 0.0 < model.average_hit_fraction() <= 1.0
+
+    def test_partial_hit_scales_linearly(self):
+        model = LocalityModel(1, LocalityConfig(max_speedup_fraction=0.2))
+        model.execution_cycles(0, 10_000, [1], memory_sensitivity=1.0)
+        mixed = model.execution_cycles(0, 10_000, [1, 99], memory_sensitivity=1.0)
+        assert mixed == 9_000  # half the inputs hit -> half the max reduction

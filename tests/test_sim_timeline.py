@@ -1,0 +1,108 @@
+"""Per-thread phase accounting."""
+
+import pytest
+
+from repro.sim.timeline import Phase, Timeline, ThreadTimeline, TimelineRecorder
+
+
+def test_begin_end_accumulates_totals():
+    timeline = ThreadTimeline(0)
+    timeline.begin(Phase.EXEC, 0)
+    timeline.begin(Phase.IDLE, 100)
+    timeline.end(150)
+    assert timeline.totals[Phase.EXEC] == 100
+    assert timeline.totals[Phase.IDLE] == 50
+    assert timeline.total_cycles == 150
+
+
+def test_intervals_recorded_when_enabled():
+    timeline = ThreadTimeline(0, record_intervals=True)
+    timeline.begin(Phase.DEPS, 10)
+    timeline.begin(Phase.EXEC, 30)
+    timeline.end(60)
+    assert [(i.phase, i.start, i.end) for i in timeline.intervals] == [
+        (Phase.DEPS, 10, 30),
+        (Phase.EXEC, 30, 60),
+    ]
+    assert timeline.intervals[0].duration == 20
+
+
+def test_intervals_not_recorded_when_disabled():
+    timeline = ThreadTimeline(0, record_intervals=False)
+    timeline.begin(Phase.DEPS, 0)
+    timeline.end(10)
+    assert timeline.intervals == []
+    assert timeline.totals[Phase.DEPS] == 10
+
+
+def test_fraction():
+    timeline = ThreadTimeline(0)
+    timeline.add(Phase.EXEC, 0, 75)
+    timeline.add(Phase.IDLE, 75, 100)
+    assert timeline.fraction(Phase.EXEC) == pytest.approx(0.75)
+    assert timeline.fraction(Phase.IDLE) == pytest.approx(0.25)
+
+
+def test_fraction_empty_timeline_is_zero():
+    assert ThreadTimeline(0).fraction(Phase.EXEC) == 0.0
+
+
+def test_negative_interval_rejected():
+    timeline = ThreadTimeline(0)
+    with pytest.raises(ValueError):
+        timeline.add(Phase.EXEC, 10, 5)
+
+
+def test_recorder_finalize_closes_open_intervals():
+    recorder = TimelineRecorder(2)
+    recorder.thread(0).begin(Phase.EXEC, 0)
+    recorder.thread(1).begin(Phase.IDLE, 0)
+    timeline = recorder.finalize(200)
+    assert timeline.threads[0].totals[Phase.EXEC] == 200
+    assert timeline.threads[1].totals[Phase.IDLE] == 200
+    assert timeline.end_cycle == 200
+
+
+def _two_thread_timeline() -> Timeline:
+    master = ThreadTimeline(0)
+    master.add(Phase.DEPS, 0, 80)
+    master.add(Phase.EXEC, 80, 100)
+    worker = ThreadTimeline(1)
+    worker.add(Phase.EXEC, 0, 60)
+    worker.add(Phase.IDLE, 60, 100)
+    return Timeline([master, worker], end_cycle=100)
+
+
+def test_master_and_worker_breakdowns():
+    timeline = _two_thread_timeline()
+    master = timeline.master_breakdown()
+    assert master[Phase.DEPS] == pytest.approx(0.8)
+    worker = timeline.worker_breakdown()
+    assert worker[Phase.EXEC] == pytest.approx(0.6)
+    assert worker[Phase.IDLE] == pytest.approx(0.4)
+
+
+def test_totals_over_all_threads():
+    timeline = _two_thread_timeline()
+    totals = timeline.totals()
+    assert totals[Phase.EXEC] == 80
+    assert totals[Phase.DEPS] == 80
+    assert totals[Phase.IDLE] == 40
+
+
+def test_busy_fraction():
+    timeline = _two_thread_timeline()
+    assert timeline.busy_fraction() == pytest.approx(1.0 - 40 / 200)
+
+
+def test_single_thread_worker_breakdown_is_zero():
+    timeline = Timeline([ThreadTimeline(0)], end_cycle=10)
+    assert all(value == 0.0 for value in timeline.worker_breakdown().values())
+
+
+def test_relative_rows():
+    timeline = _two_thread_timeline()
+    rows = timeline.as_relative_rows()
+    assert len(rows) == 2
+    assert rows[0]["DEPS"] == pytest.approx(0.8)
+    assert rows[1]["EXEC"] == pytest.approx(0.6)

@@ -1,0 +1,107 @@
+"""DMU storage/area model (Table III) and baseline storage models."""
+
+import pytest
+
+from repro.config import DMUConfig
+from repro.core.storage import (
+    CarbonStorageModel,
+    DMUStorageModel,
+    TaskSuperscalarStorageModel,
+    sram_area_mm2,
+)
+
+#: Table III of the paper: structure -> (storage KB, area mm^2).
+PAPER_TABLE3 = {
+    "Task Table": (23.00, 0.026),
+    "Dep Table": (5.25, 0.013),
+    "TAT": (18.75, 0.031),
+    "DAT": (18.75, 0.031),
+    "SLA": (12.25, 0.019),
+    "DLA": (12.25, 0.019),
+    "RLA": (12.25, 0.019),
+    "ReadyQ": (2.75, 0.012),
+}
+
+
+class TestDefaultConfigurationMatchesTable3:
+    def test_per_structure_storage_exact(self):
+        model = DMUStorageModel(DMUConfig())
+        by_name = model.by_name()
+        for name, (kb, _area) in PAPER_TABLE3.items():
+            assert by_name[name].kilobytes == pytest.approx(kb), name
+
+    def test_total_storage(self):
+        model = DMUStorageModel(DMUConfig())
+        assert model.total_kilobytes == pytest.approx(105.25)
+
+    def test_per_structure_area_close_to_cacti(self):
+        model = DMUStorageModel(DMUConfig())
+        by_name = model.by_name()
+        for name, (_kb, mm2) in PAPER_TABLE3.items():
+            assert by_name[name].area_mm2 == pytest.approx(mm2, rel=0.25), name
+
+    def test_total_area_close_to_paper(self):
+        model = DMUStorageModel(DMUConfig())
+        assert model.total_area_mm2 == pytest.approx(0.17, rel=0.1)
+
+    def test_structure_order_matches_table(self):
+        names = [s.name for s in DMUStorageModel().structures()]
+        assert names == list(PAPER_TABLE3)
+
+
+class TestScaling:
+    def test_storage_grows_with_entries(self):
+        small = DMUStorageModel(DMUConfig())
+        large = DMUStorageModel(DMUConfig(tat_entries=4096, dat_entries=4096))
+        assert large.total_kilobytes > small.total_kilobytes
+
+    def test_id_width_follows_table_sizes(self):
+        model = DMUStorageModel(DMUConfig(tat_entries=512, dat_entries=512))
+        tat = model.by_name()["TAT"]
+        assert tat.bits_per_entry == 64 + 9
+
+    def test_access_energy_positive_and_ordered(self):
+        model = DMUStorageModel(DMUConfig())
+        by_name = model.by_name()
+        assert by_name["TAT"].access_energy_pj > 0
+        # Associative structures cost more energy per access than direct SRAM
+        # of comparable size.
+        assert by_name["TAT"].access_energy_pj > by_name["Task Table"].access_energy_pj * 0.5
+        assert model.average_access_energy_pj() > 0
+
+
+class TestBaselineModels:
+    def test_task_superscalar_matches_section6c(self):
+        tss = TaskSuperscalarStorageModel(in_flight_entries=2048)
+        assert tss.total_kilobytes == pytest.approx(769.0)
+
+    def test_complexity_ratio_is_about_7x(self):
+        dmu = DMUStorageModel(DMUConfig())
+        tss = TaskSuperscalarStorageModel(in_flight_entries=2048)
+        ratio = tss.total_kilobytes / dmu.total_kilobytes
+        assert ratio == pytest.approx(7.3, abs=0.1)
+
+    def test_task_superscalar_area_larger_than_dmu(self):
+        dmu = DMUStorageModel(DMUConfig())
+        tss = TaskSuperscalarStorageModel(in_flight_entries=2048)
+        assert tss.total_area_mm2 > dmu.total_area_mm2
+
+    def test_carbon_queues_are_small(self):
+        carbon = CarbonStorageModel(num_cores=32)
+        assert carbon.total_kilobytes < DMUStorageModel().total_kilobytes
+        assert len(carbon.structures()) == 32
+
+    def test_invalid_in_flight_entries_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSuperscalarStorageModel(in_flight_entries=0)
+
+
+class TestAreaRegression:
+    def test_zero_bits_zero_area(self):
+        assert sram_area_mm2(0) == 0.0
+
+    def test_associative_costs_more_than_direct(self):
+        assert sram_area_mm2(100_000, associative=True) > sram_area_mm2(100_000, associative=False)
+
+    def test_area_monotonic_in_bits(self):
+        assert sram_area_mm2(200_000) > sram_area_mm2(100_000)

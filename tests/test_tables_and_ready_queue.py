@@ -1,0 +1,110 @@
+"""Task Table, Dependence Table and Ready Queue."""
+
+import pytest
+
+from repro.core.dependence_table import DependenceTable, DependenceTableEntry
+from repro.core.ready_queue import ReadyQueue
+from repro.core.task_table import TaskTable, TaskTableEntry
+from repro.errors import DMUProtocolError
+
+
+class TestTaskTable:
+    def test_install_get_free(self):
+        table = TaskTable(8)
+        entry = TaskTableEntry(descriptor_address=0x1234, successor_list=1, dependence_list=2)
+        table.install(3, entry)
+        assert table.get(3) is entry
+        assert table.occupancy == 1
+        table.free(3)
+        assert table.occupancy == 0
+        assert not table.is_valid(3)
+
+    def test_double_install_rejected(self):
+        table = TaskTable(4)
+        table.install(0, TaskTableEntry(descriptor_address=1))
+        with pytest.raises(DMUProtocolError):
+            table.install(0, TaskTableEntry(descriptor_address=2))
+
+    def test_get_invalid_rejected(self):
+        with pytest.raises(DMUProtocolError):
+            TaskTable(4).get(1)
+
+    def test_double_free_rejected(self):
+        table = TaskTable(4)
+        table.install(1, TaskTableEntry(descriptor_address=1))
+        table.free(1)
+        with pytest.raises(DMUProtocolError):
+            table.free(1)
+
+    def test_out_of_range_id_rejected(self):
+        with pytest.raises(DMUProtocolError):
+            TaskTable(4).get(4)
+
+    def test_peak_occupancy(self):
+        table = TaskTable(4)
+        for task_id in range(3):
+            table.install(task_id, TaskTableEntry(descriptor_address=task_id))
+        table.free(0)
+        assert table.peak_occupancy == 3
+        assert table.occupancy == 2
+
+
+class TestDependenceTable:
+    def test_install_get_free(self):
+        table = DependenceTable(8)
+        entry = DependenceTableEntry()
+        table.install(5, entry)
+        assert table.get(5) is entry
+        table.free(5)
+        assert table.occupancy == 0
+
+    def test_last_writer_lifecycle(self):
+        entry = DependenceTableEntry()
+        assert not entry.last_writer_valid
+        entry.set_last_writer(7)
+        assert entry.last_writer == 7 and entry.last_writer_valid
+        entry.invalidate_last_writer()
+        assert not entry.last_writer_valid
+
+    def test_double_install_rejected(self):
+        table = DependenceTable(4)
+        table.install(0, DependenceTableEntry())
+        with pytest.raises(DMUProtocolError):
+            table.install(0, DependenceTableEntry())
+
+    def test_invalid_id_rejected(self):
+        with pytest.raises(DMUProtocolError):
+            DependenceTable(4).get(9)
+
+
+class TestReadyQueue:
+    def test_fifo_order(self):
+        queue = ReadyQueue(8)
+        for task_id in (4, 2, 9):
+            queue.push(task_id)
+        assert [queue.pop(), queue.pop(), queue.pop()] == [4, 2, 9]
+
+    def test_pop_empty_returns_none(self):
+        assert ReadyQueue(4).pop() is None
+
+    def test_statistics(self):
+        queue = ReadyQueue(8)
+        queue.push(1)
+        queue.push(2)
+        queue.pop()
+        assert queue.total_pushes == 2
+        assert queue.total_pops == 1
+        assert queue.peak_occupancy == 2
+        assert len(queue) == 1
+        assert not queue.is_empty
+
+    def test_overflow_rejected(self):
+        queue = ReadyQueue(2)
+        queue.push(1)
+        queue.push(2)
+        with pytest.raises(DMUProtocolError):
+            queue.push(3)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ReadyQueue(0)

@@ -1,0 +1,154 @@
+"""Software dependence tracker (last-writer / readers semantics)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.runtime.task import AccessMode, DependenceSpec, TaskDefinition, TaskInstance
+from repro.runtime.tracker import DependenceTracker
+
+BLOCK = 4096
+X = 0x1000_0000
+Y = 0x2000_0000
+
+
+def make_task(uid, deps):
+    definition = TaskDefinition(
+        uid=uid,
+        name=f"t{uid}",
+        kind="test",
+        work_us=1.0,
+        dependences=tuple(DependenceSpec(addr, BLOCK, mode) for addr, mode in deps),
+    )
+    return TaskInstance(definition, descriptor_address=0x8000 + uid * 0x100)
+
+
+class TestEdges:
+    def test_raw_edge(self):
+        tracker = DependenceTracker()
+        writer = make_task(0, [(X, AccessMode.OUT)])
+        reader = make_task(1, [(X, AccessMode.IN)])
+        tracker.register_task(writer)
+        match = tracker.register_task(reader)
+        assert reader in writer.successors
+        assert reader.num_predecessors == 1
+        assert match.writers_matched == 1
+        assert not match.initially_ready
+
+    def test_war_edge(self):
+        tracker = DependenceTracker()
+        reader = make_task(0, [(X, AccessMode.IN)])
+        writer = make_task(1, [(X, AccessMode.OUT)])
+        tracker.register_task(reader)
+        match = tracker.register_task(writer)
+        assert writer in reader.successors
+        assert match.readers_traversed == 1
+
+    def test_waw_edge(self):
+        tracker = DependenceTracker()
+        first = make_task(0, [(X, AccessMode.OUT)])
+        second = make_task(1, [(X, AccessMode.OUT)])
+        tracker.register_task(first)
+        tracker.register_task(second)
+        assert second in first.successors
+
+    def test_inout_behaves_as_read_and_write(self):
+        tracker = DependenceTracker()
+        a = make_task(0, [(X, AccessMode.INOUT)])
+        b = make_task(1, [(X, AccessMode.INOUT)])
+        c = make_task(2, [(X, AccessMode.INOUT)])
+        for task in (a, b, c):
+            tracker.register_task(task)
+        assert b in a.successors and c in b.successors
+        assert c not in a.successors  # chained, not fanned out
+
+    def test_independent_tasks_have_no_edges(self):
+        tracker = DependenceTracker()
+        a = make_task(0, [(X, AccessMode.IN)])
+        b = make_task(1, [(Y, AccessMode.IN)])
+        assert tracker.register_task(a).initially_ready
+        assert tracker.register_task(b).initially_ready
+        assert a.successors == [] and b.successors == []
+
+    def test_readers_do_not_depend_on_each_other(self):
+        tracker = DependenceTracker()
+        writer = make_task(0, [(X, AccessMode.OUT)])
+        r1 = make_task(1, [(X, AccessMode.IN)])
+        r2 = make_task(2, [(X, AccessMode.IN)])
+        for task in (writer, r1, r2):
+            tracker.register_task(task)
+        assert r2 not in r1.successors
+        assert writer.num_successors == 2
+
+
+class TestFinish:
+    def test_finish_wakes_dependent(self):
+        tracker = DependenceTracker()
+        writer = make_task(0, [(X, AccessMode.OUT)])
+        reader = make_task(1, [(X, AccessMode.IN)])
+        tracker.register_task(writer)
+        tracker.register_task(reader)
+        newly_ready = tracker.finish_task(writer)
+        assert newly_ready == [reader]
+
+    def test_finish_cleans_dependence_records(self):
+        tracker = DependenceTracker()
+        writer = make_task(0, [(X, AccessMode.OUT)])
+        tracker.register_task(writer)
+        tracker.finish_task(writer)
+        assert tracker.live_dependences == 0
+        assert tracker.last_writer_of(X) is None
+
+    def test_records_survive_while_readers_remain(self):
+        tracker = DependenceTracker()
+        writer = make_task(0, [(X, AccessMode.OUT)])
+        reader = make_task(1, [(X, AccessMode.IN)])
+        tracker.register_task(writer)
+        tracker.register_task(reader)
+        tracker.finish_task(writer)
+        assert tracker.live_dependences == 1
+        assert tracker.readers_of(X) == [reader]
+        tracker.finish_task(reader)
+        assert tracker.live_dependences == 0
+
+    def test_finished_writer_creates_no_edge_for_later_tasks(self):
+        tracker = DependenceTracker()
+        writer = make_task(0, [(X, AccessMode.OUT)])
+        tracker.register_task(writer)
+        tracker.finish_task(writer)
+        late_reader = make_task(1, [(X, AccessMode.IN)])
+        match = tracker.register_task(late_reader)
+        assert match.initially_ready
+        assert late_reader.num_predecessors == 0
+
+    def test_double_finish_rejected(self):
+        tracker = DependenceTracker()
+        task = make_task(0, [(X, AccessMode.OUT)])
+        tracker.register_task(task)
+        tracker.finish_task(task)
+        task.mark_finished(0)
+        with pytest.raises(ValidationError):
+            tracker.finish_task(task)
+
+    def test_war_chain_wakes_writer_after_all_readers(self):
+        tracker = DependenceTracker()
+        w0 = make_task(0, [(X, AccessMode.OUT)])
+        r1 = make_task(1, [(X, AccessMode.IN)])
+        r2 = make_task(2, [(X, AccessMode.IN)])
+        w3 = make_task(3, [(X, AccessMode.OUT)])
+        for task in (w0, r1, r2, w3):
+            tracker.register_task(task)
+        assert tracker.finish_task(w0) == [r1, r2]
+        assert tracker.finish_task(r1) == []
+        assert tracker.finish_task(r2) == [w3]
+
+
+class TestStatistics:
+    def test_counters(self):
+        tracker = DependenceTracker()
+        writer = make_task(0, [(X, AccessMode.OUT), (Y, AccessMode.OUT)])
+        reader = make_task(1, [(X, AccessMode.IN), (Y, AccessMode.IN)])
+        tracker.register_task(writer)
+        tracker.register_task(reader)
+        assert tracker.registered_tasks == 2
+        assert tracker.total_successor_links == 2
+        assert tracker.max_live_dependences == 2

@@ -1,0 +1,62 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_cycles_per_us_default_clock():
+    assert units.cycles_per_us() == 2000.0
+
+
+def test_cycles_per_us_other_clock():
+    assert units.cycles_per_us(1.0) == 1000.0
+
+
+def test_us_to_cycles_round_trip():
+    assert units.us_to_cycles(1.0) == 2000
+    assert units.cycles_to_us(2000) == 1.0
+
+
+def test_us_to_cycles_scales_with_clock():
+    assert units.us_to_cycles(2.0, clock_ghz=3.0) == 6000
+
+
+def test_us_to_cycles_small_value_is_at_least_one_cycle():
+    assert units.us_to_cycles(1e-9) == 1
+
+
+def test_us_to_cycles_zero():
+    assert units.us_to_cycles(0.0) == 0
+
+
+def test_us_to_cycles_negative_raises():
+    with pytest.raises(ValueError):
+        units.us_to_cycles(-1.0)
+
+
+def test_cycles_to_seconds():
+    assert units.cycles_to_seconds(2_000_000_000) == pytest.approx(1.0)
+
+
+def test_bits_to_kilobytes():
+    assert units.bits_to_kilobytes(8 * 1024) == 1.0
+    assert units.bits_to_kilobytes(188_416) == pytest.approx(23.0)
+
+
+def test_is_power_of_two():
+    assert units.is_power_of_two(1)
+    assert units.is_power_of_two(2048)
+    assert not units.is_power_of_two(0)
+    assert not units.is_power_of_two(3)
+    assert not units.is_power_of_two(-4)
+
+
+def test_log2_int():
+    assert units.log2_int(1) == 0
+    assert units.log2_int(2048) == 11
+
+
+def test_log2_int_rejects_non_powers():
+    with pytest.raises(ValueError):
+        units.log2_int(12)

@@ -1,0 +1,88 @@
+"""Graph-level properties of the generated workloads."""
+
+import pytest
+
+from repro.analysis.graph import critical_path_us, max_parallelism, task_graph_edges
+from repro.analysis.validation import ReferenceGraph
+from repro.workloads import create_workload
+from repro.workloads.synthetic import chain_program, fork_join_program, random_dag_program
+
+SMALL_SCALE = 0.2
+
+
+class TestSyntheticGenerators:
+    def test_chain_program_edges(self):
+        program = chain_program(num_chains=3, chain_length=4)
+        edges = task_graph_edges(program)
+        # Each chain contributes length-1 edges.
+        assert len(edges) == 3 * 3
+        assert max_parallelism(program) == pytest.approx(3.0)
+
+    def test_fork_join_has_no_intra_wave_edges(self):
+        program = fork_join_program(num_waves=2, tasks_per_wave=8)
+        assert task_graph_edges(program) == []
+        assert len(program.regions) == 2
+
+    def test_random_dag_is_acyclic_and_reproducible(self):
+        first = random_dag_program(num_tasks=30, seed=3)
+        second = random_dag_program(num_tasks=30, seed=3)
+        assert task_graph_edges(first) == task_graph_edges(second)
+        # critical path computation would raise on a cycle
+        assert critical_path_us(first) > 0
+
+    def test_random_dag_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            random_dag_program(num_tasks=0)
+
+
+class TestBenchmarkGraphs:
+    @pytest.mark.parametrize(
+        "benchmark_name",
+        ["cholesky", "lu", "qr", "fluidanimate", "histogram", "dedup", "ferret"],
+    )
+    def test_graphs_are_acyclic_with_edges(self, benchmark_name):
+        scale = 0.05 if benchmark_name in ("dedup", "ferret") else SMALL_SCALE
+        program = create_workload(benchmark_name, scale=scale).build_program()
+        edges = task_graph_edges(program)
+        assert edges, f"{benchmark_name} should have dependence edges"
+        assert critical_path_us(program) > 0
+
+    def test_blackscholes_is_a_set_of_chains(self):
+        program = create_workload("blackscholes", scale=0.1).build_program()
+        graph = ReferenceGraph.from_program(program)
+        successors = {}
+        for pred, succ in graph.edges:
+            successors.setdefault(pred, []).append(succ)
+        assert all(len(succs) == 1 for succs in successors.values())
+        # 64 chains -> parallelism of about 64
+        assert max_parallelism(program) == pytest.approx(64.0, rel=0.05)
+
+    def test_cholesky_parallelism_exceeds_core_count(self):
+        program = create_workload("cholesky", scale=0.4).build_program()
+        assert max_parallelism(program) > 32
+
+    def test_dedup_critical_path_dominated_by_io_chain(self):
+        program = create_workload("dedup").build_program()
+        io_total = sum(t.work_us for t in program.all_tasks() if t.kind == "io")
+        compute_one = max(t.work_us for t in program.all_tasks() if t.kind == "compress")
+        assert critical_path_us(program) == pytest.approx(io_total + compute_one, rel=0.05)
+
+    def test_fluidanimate_stencil_neighbour_edges(self):
+        program = create_workload("fluidanimate", scale=0.1).build_program()
+        graph = ReferenceGraph.from_program(program)
+        partitions = program.metadata["partitions"]
+        # every non-boundary task of step 1 depends on three step-0 tasks
+        in_degree = {}
+        for _pred, succ in graph.edges:
+            in_degree[succ] = in_degree.get(succ, 0) + 1
+        interior = [
+            uid
+            for uid in range(partitions + 1, 2 * partitions - 1)
+        ]
+        assert all(in_degree.get(uid, 0) >= 3 for uid in interior)
+
+    def test_histogram_reduction_tree_depth(self):
+        program = create_workload("histogram", scale=0.25).build_program()
+        leaves = sum(1 for t in program.all_tasks() if t.kind == "leaf")
+        reduces = sum(1 for t in program.all_tasks() if t.kind == "reduce")
+        assert reduces == leaves - 1

@@ -1,0 +1,174 @@
+"""Benchmark workload generators: Table II characteristics and structure."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    PAPER_BENCHMARKS,
+    PAPER_LABELS,
+    PAPER_TABLE2,
+    available_workloads,
+    create_workload,
+    register_workload,
+)
+from repro.workloads.base import Workload
+from repro.workloads.cholesky import CholeskyWorkload
+from repro.workloads.qr import QRWorkload
+
+
+class TestRegistry:
+    def test_all_paper_benchmarks_registered(self):
+        names = available_workloads()
+        for name in PAPER_BENCHMARKS:
+            assert name in names
+
+    def test_labels_cover_all_benchmarks(self):
+        assert set(PAPER_LABELS) == set(PAPER_BENCHMARKS)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            create_workload("linpack")
+
+    def test_custom_registration(self):
+        class TinyWorkload(CholeskyWorkload):
+            name = "tiny_cholesky_test"
+
+        register_workload("tiny_cholesky_test", TinyWorkload, replace=True)
+        assert isinstance(create_workload("tiny_cholesky_test", scale=0.1), TinyWorkload)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            create_workload("cholesky", scale=0.0)
+        with pytest.raises(ConfigurationError):
+            create_workload("cholesky", scale=1.5)
+
+
+class TestTable2FullScale:
+    """Task counts at scale=1.0 match Table II (exactly where the structure
+    allows it, within a few percent otherwise)."""
+
+    EXACT = {"cholesky": 5984, "dedup": 244, "ferret": 1536, "fluidanimate": 2560}
+
+    @pytest.mark.parametrize("benchmark_name", PAPER_BENCHMARKS)
+    def test_software_task_count_close_to_paper(self, benchmark_name):
+        program = create_workload(benchmark_name, runtime="software").build_program()
+        paper = PAPER_TABLE2[benchmark_name].sw_tasks
+        if benchmark_name in self.EXACT:
+            assert program.num_tasks == paper
+        else:
+            assert program.num_tasks == pytest.approx(paper, rel=0.02)
+
+    @pytest.mark.parametrize("benchmark_name", PAPER_BENCHMARKS)
+    def test_software_duration_close_to_paper(self, benchmark_name):
+        program = create_workload(benchmark_name, runtime="software").build_program()
+        paper = PAPER_TABLE2[benchmark_name].sw_duration_us
+        assert program.average_task_us == pytest.approx(paper, rel=0.05)
+
+    def test_qr_tdm_granularity_matches_table2(self):
+        program = create_workload("qr", runtime="tdm").build_program()
+        assert program.num_tasks == PAPER_TABLE2["qr"].tdm_tasks
+
+    def test_blackscholes_tdm_granularity_close_to_table2(self):
+        program = create_workload("blackscholes", runtime="tdm").build_program()
+        assert program.num_tasks == pytest.approx(PAPER_TABLE2["blackscholes"].tdm_tasks, rel=0.03)
+
+    def test_streamcluster_is_fork_join(self):
+        workload = create_workload("streamcluster", scale=0.02)
+        program = workload.build_program()
+        assert len(program.regions) > 1
+
+
+class TestGranularity:
+    @pytest.mark.parametrize("benchmark_name", PAPER_BENCHMARKS)
+    def test_optimal_granularity_is_an_option(self, benchmark_name):
+        workload = create_workload(benchmark_name)
+        options = {option.value for option in workload.granularity_options()}
+        assert workload.optimal_granularity("software") in options
+        assert workload.optimal_granularity("tdm") in options
+
+    def test_finer_granularity_means_more_smaller_tasks(self):
+        coarse = CholeskyWorkload(scale=0.3, granularity=64).build_program()
+        fine = CholeskyWorkload(scale=0.3, granularity=16).build_program()
+        assert fine.num_tasks > coarse.num_tasks
+        assert fine.average_task_us < coarse.average_task_us
+
+    def test_total_work_roughly_preserved_across_granularity(self):
+        coarse = CholeskyWorkload(scale=0.3, granularity=64).build_program()
+        fine = CholeskyWorkload(scale=0.3, granularity=16).build_program()
+        assert fine.total_work_us == pytest.approx(coarse.total_work_us, rel=0.35)
+
+    def test_with_granularity_returns_new_instance(self):
+        workload = create_workload("qr")
+        finer = workload.with_granularity(4)
+        assert finer is not workload
+        assert finer.granularity == 4
+
+    def test_for_runtime_selects_table2_granularity(self):
+        assert create_workload("qr").for_runtime("tdm").granularity == 4
+        assert create_workload("qr").for_runtime("software").granularity == 16
+
+    def test_dedup_and_ferret_have_fixed_granularity(self):
+        for name in ("dedup", "ferret"):
+            options = create_workload(name).granularity_options()
+            assert len(options) == 1
+
+
+class TestScaling:
+    @pytest.mark.parametrize("benchmark_name", PAPER_BENCHMARKS)
+    def test_scale_reduces_total_work(self, benchmark_name):
+        full = create_workload(benchmark_name, scale=1.0).build_program()
+        small = create_workload(benchmark_name, scale=0.25).build_program()
+        assert small.total_work_us < full.total_work_us
+
+    def test_determinism(self):
+        first = create_workload("histogram", scale=0.5).build_program()
+        second = create_workload("histogram", scale=0.5).build_program()
+        assert first.num_tasks == second.num_tasks
+        assert [t.work_us for t in first.all_tasks()] == [t.work_us for t in second.all_tasks()]
+
+    def test_different_seeds_change_jitter_only(self):
+        first = create_workload("lu", scale=0.4, seed=0).build_program()
+        second = create_workload("lu", scale=0.4, seed=1).build_program()
+        assert first.num_tasks == second.num_tasks
+        assert [t.work_us for t in first.all_tasks()] != [t.work_us for t in second.all_tasks()]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("benchmark_name", PAPER_BENCHMARKS)
+    def test_describe_reports_consistent_metadata(self, benchmark_name):
+        workload = create_workload(benchmark_name, scale=0.25)
+        info = workload.describe()
+        assert info["workload"] == benchmark_name
+        assert info["num_tasks"] > 0
+        assert info["average_task_us"] > 0
+        assert info["max_dependences_per_task"] >= 1
+
+    @pytest.mark.parametrize("benchmark_name", PAPER_BENCHMARKS)
+    def test_memory_sensitivity_in_range(self, benchmark_name):
+        workload = create_workload(benchmark_name)
+        assert 0.0 <= workload.memory_sensitivity <= 1.0
+
+    def test_cholesky_dependence_pattern(self):
+        """spotrf on a diagonal block precedes the strsm tasks of its column."""
+        program = CholeskyWorkload(scale=0.15).build_program()
+        names = [t.name for t in program.all_tasks()]
+        assert names.index("spotrf_0") < names.index("strsm_1_0")
+
+    def test_qr_task_kinds_present(self):
+        program = QRWorkload(scale=0.2).build_program()
+        kinds = {t.kind for t in program.all_tasks()}
+        assert kinds == {"geqrt", "unmqr", "tsqrt", "tsmqr"}
+
+    def test_dedup_io_tasks_serialized_on_output_stream(self):
+        program = create_workload("dedup", scale=0.1).build_program()
+        io_tasks = [t for t in program.all_tasks() if t.kind == "io"]
+        output_addresses = set()
+        for task in io_tasks:
+            output_addresses.update(
+                d.address for d in task.dependences if d.mode.name == "INOUT"
+            )
+        assert len(output_addresses) == 1
+
+    def test_base_workload_is_abstract(self):
+        with pytest.raises(TypeError):
+            Workload()  # type: ignore[abstract]

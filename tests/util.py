@@ -1,0 +1,81 @@
+"""Plain (non-fixture) helpers shared by test modules."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import ChipConfig, CoreConfig, DMUConfig, SimulationConfig
+from repro.runtime.task import (
+    AccessMode,
+    DependenceSpec,
+    TaskDefinition,
+    single_region_program,
+)
+
+
+def make_config(
+    runtime: str = "tdm",
+    scheduler: str = "fifo",
+    num_cores: int = 8,
+    dmu: DMUConfig | None = None,
+    **overrides,
+) -> SimulationConfig:
+    """A validated small-chip configuration for tests."""
+    config = SimulationConfig(
+        chip=ChipConfig(num_cores=num_cores, core=CoreConfig()),
+        runtime=runtime,
+        scheduler=scheduler,
+    )
+    if dmu is not None:
+        config = dataclasses.replace(config, dmu=dmu)
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return config.validated()
+
+
+def diamond_program(work_us: float = 50.0):
+    """A four-task diamond: A -> (B, C) -> D, expressed through data blocks."""
+    block = 4096
+    a_out = 0x1000_0000
+    b_out = 0x2000_0000
+    c_out = 0x3000_0000
+    tasks = [
+        TaskDefinition(
+            uid=0,
+            name="A",
+            kind="source",
+            work_us=work_us,
+            dependences=(DependenceSpec(a_out, block, AccessMode.OUT),),
+        ),
+        TaskDefinition(
+            uid=1,
+            name="B",
+            kind="middle",
+            work_us=work_us,
+            dependences=(
+                DependenceSpec(a_out, block, AccessMode.IN),
+                DependenceSpec(b_out, block, AccessMode.OUT),
+            ),
+        ),
+        TaskDefinition(
+            uid=2,
+            name="C",
+            kind="middle",
+            work_us=work_us,
+            dependences=(
+                DependenceSpec(a_out, block, AccessMode.IN),
+                DependenceSpec(c_out, block, AccessMode.OUT),
+            ),
+        ),
+        TaskDefinition(
+            uid=3,
+            name="D",
+            kind="sink",
+            work_us=work_us,
+            dependences=(
+                DependenceSpec(b_out, block, AccessMode.IN),
+                DependenceSpec(c_out, block, AccessMode.IN),
+            ),
+        ),
+    ]
+    return single_region_program("diamond", tasks)
