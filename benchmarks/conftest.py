@@ -14,6 +14,14 @@ Two environment variables control the cost of the campaign:
 
 ``REPRO_BENCH_BENCHMARKS``
     Comma-separated benchmark subset overriding each harness's default.
+
+``REPRO_BENCH_JOBS``
+    Worker processes for the campaign engine (default 1 = serial).  With
+    more than one, every harness prefetches its sweep over a process pool.
+
+``REPRO_BENCH_CACHE_DIR``
+    Directory for the persistent result cache.  A second benchmark session
+    pointed at the same directory simulates nothing.
 """
 
 from __future__ import annotations
@@ -40,10 +48,20 @@ def bench_benchmarks(default: Optional[Sequence[str]]) -> Optional[Sequence[str]
     return [name.strip() for name in raw.split(",") if name.strip()]
 
 
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def bench_cache_dir() -> Optional[str]:
+    return os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+
+
 @pytest.fixture(scope="session")
 def shared_runner() -> SimulationRunner:
     """One memoizing runner shared by every harness in the session."""
-    return SimulationRunner(scale=bench_scale())
+    return SimulationRunner(
+        scale=bench_scale(), jobs=bench_jobs(), cache_dir=bench_cache_dir()
+    )
 
 
 @pytest.fixture

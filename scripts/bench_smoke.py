@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Campaign-engine smoke benchmark: reduced sweep, cold vs warm cache.
+
+Runs a small but representative slice of the evaluation (one breakdown
+figure, one scheduler sweep, one comparison figure on three benchmarks)
+twice against the same cache directory and records the timings in
+``BENCH_campaign.json``.  The second pass must perform **zero** simulations
+— its time is pure cache-read and row-assembly overhead — so the record
+doubles as an end-to-end check of the content-hashed result cache and
+feeds the performance trajectory across PRs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_smoke.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import tempfile
+import time
+
+from repro.experiments.common import SimulationRunner
+from repro.experiments.registry import run_experiment
+
+SMOKE_EXPERIMENTS = ("figure_02", "figure_10", "figure_12")
+SMOKE_BENCHMARKS = ["blackscholes", "cholesky", "qr"]
+
+
+def run_pass(scale: float, jobs: int, cache_dir: pathlib.Path) -> dict:
+    runner = SimulationRunner(scale=scale, jobs=jobs, cache_dir=cache_dir)
+    start = time.perf_counter()
+    rows = 0
+    for name in SMOKE_EXPERIMENTS:
+        result = run_experiment(name, scale=scale, benchmarks=SMOKE_BENCHMARKS, runner=runner)
+        rows += len(result.rows)
+    elapsed = time.perf_counter() - start
+    info = runner.cache_info()
+    return {"seconds": round(elapsed, 3), "rows": rows, **info}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                        help="cache directory (default: a fresh temporary one)")
+    parser.add_argument("--output", type=pathlib.Path, default=pathlib.Path("BENCH_campaign.json"))
+    args = parser.parse_args()
+
+    cache_dir = args.cache_dir or pathlib.Path(tempfile.mkdtemp(prefix="campaign-cache-"))
+    cold = run_pass(args.scale, args.jobs, cache_dir)
+    warm = run_pass(args.scale, args.jobs, cache_dir)
+
+    record = {
+        "benchmark": "campaign_smoke",
+        "experiments": list(SMOKE_EXPERIMENTS),
+        "benchmarks": SMOKE_BENCHMARKS,
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "cache_dir": str(cache_dir),
+        "cold": cold,
+        "warm": warm,
+        "warm_is_simulation_free": warm["simulations_run"] == 0,
+        "speedup_cold_over_warm": round(cold["seconds"] / warm["seconds"], 2)
+        if warm["seconds"] > 0
+        else None,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(record, indent=2))
+    if not record["warm_is_simulation_free"]:
+        raise SystemExit("warm pass re-simulated cached points — cache regression!")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,11 +24,17 @@ def main() -> None:
     parser.add_argument("--output", type=pathlib.Path, default=pathlib.Path("results"))
     parser.add_argument("--sweep-scale", type=float, default=None,
                         help="scale for the design-space sweeps (default: same as --scale)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the campaign engine (default: serial)")
+    parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                        help="persist simulation results here; reruns resume incrementally")
     args = parser.parse_args()
     args.output.mkdir(parents=True, exist_ok=True)
 
-    runner = SimulationRunner(scale=args.scale, verbose=True)
-    sweep_runner = SimulationRunner(scale=args.sweep_scale or args.scale, verbose=True)
+    runner = SimulationRunner(scale=args.scale, verbose=True,
+                              jobs=args.jobs, cache_dir=args.cache_dir)
+    sweep_runner = SimulationRunner(scale=args.sweep_scale or args.scale, verbose=True,
+                                    jobs=args.jobs, cache_dir=args.cache_dir)
 
     plan = [
         ("table_03", dict(runner=runner)),

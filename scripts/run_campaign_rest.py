@@ -1,20 +1,32 @@
 #!/usr/bin/env python3
-"""Remaining design-space figures for EXPERIMENTS.md (7, 8, 9, 11)."""
-import pathlib, time
+"""Remaining design-space figures for EXPERIMENTS.md (7, 8, 9, 11).
+
+Environment knobs: ``REPRO_JOBS`` (worker processes, default 1) and
+``REPRO_CACHE_DIR`` (persistent result cache, default none).
+"""
+import os, pathlib, time
 from repro.experiments.common import SimulationRunner
 from repro.experiments.registry import run_experiment
 
-out = pathlib.Path("results"); out.mkdir(exist_ok=True)
-runner = SimulationRunner(scale=0.25, verbose=True)
-plan = [
-    ("figure_07", dict(benchmarks=["cholesky", "histogram", "qr", "lu", "ferret"])),
-    ("figure_08", dict(benchmarks=["cholesky", "histogram", "qr"])),
-    ("figure_09", dict(benchmarks=["cholesky", "lu", "qr"])),
-    ("figure_11", dict(benchmarks=["blackscholes", "cholesky", "fluidanimate", "histogram", "qr"])),
-]
-for name, kwargs in plan:
-    t0 = time.time()
-    print(f"=== running {name}", flush=True)
-    result = run_experiment(name, scale=0.25, runner=runner, **kwargs)
-    (out / f"{result.experiment}.md").write_text(result.to_markdown(), encoding="utf-8")
-    print(f"=== {name} done in {time.time()-t0:.1f}s", flush=True)
+
+def main() -> None:
+    out = pathlib.Path("results"); out.mkdir(exist_ok=True)
+    runner = SimulationRunner(scale=0.25, verbose=True,
+                              jobs=int(os.environ.get("REPRO_JOBS", "1")),
+                              cache_dir=os.environ.get("REPRO_CACHE_DIR") or None)
+    plan = [
+        ("figure_07", dict(benchmarks=["cholesky", "histogram", "qr", "lu", "ferret"])),
+        ("figure_08", dict(benchmarks=["cholesky", "histogram", "qr"])),
+        ("figure_09", dict(benchmarks=["cholesky", "lu", "qr"])),
+        ("figure_11", dict(benchmarks=["blackscholes", "cholesky", "fluidanimate", "histogram", "qr"])),
+    ]
+    for name, kwargs in plan:
+        t0 = time.time()
+        print(f"=== running {name}", flush=True)
+        result = run_experiment(name, scale=0.25, runner=runner, **kwargs)
+        (out / f"{result.experiment}.md").write_text(result.to_markdown(), encoding="utf-8")
+        print(f"=== {name} done in {time.time()-t0:.1f}s", flush=True)
+
+
+if __name__ == "__main__":  # required: the process pool re-imports this module
+    main()

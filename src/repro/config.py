@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field, replace
-from typing import Literal
+from typing import Literal, Mapping
 
 from .errors import ConfigurationError
 from .units import DEFAULT_CLOCK_GHZ, is_power_of_two
@@ -91,6 +91,15 @@ class DMUConfig:
             raise ConfigurationError("TAT associativity cannot exceed number of entries")
         if self.dat_associativity > self.dat_entries:
             raise ConfigurationError("DAT associativity cannot exceed number of entries")
+        if self.ready_queue_entries < self.tat_entries:
+            # The Ready Queue model treats overflow as a protocol error rather
+            # than a blocking condition, which is only sound when every
+            # in-flight task (at most one per TAT entry) has a slot.
+            raise ConfigurationError(
+                "ready_queue_entries must be >= tat_entries: the Ready Queue "
+                f"holds one slot per in-flight task ({self.ready_queue_entries} "
+                f"< {self.tat_entries} would overflow mid-simulation instead of blocking)"
+            )
         if self.elements_per_list_entry < 1:
             raise ConfigurationError("elements_per_list_entry must be >= 1")
         if self.access_cycles < 0:
@@ -288,6 +297,31 @@ class SimulationConfig:
     def with_dmu(self, dmu: DMUConfig) -> "SimulationConfig":
         """Return a copy using a different DMU configuration."""
         return replace(self, dmu=dmu)
+
+    # ------------------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        """Nested plain-dict form (JSON-safe) covering *every* field.
+
+        This is the payload hashed by :func:`repro.experiments.cache.canonical_run_key`
+        and stored alongside cached simulation results, so it must stay
+        lossless: any field that can change simulation output has to appear.
+        ``dataclasses.asdict`` guarantees that automatically.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimulationConfig":
+        """Rebuild a :class:`SimulationConfig` from :meth:`to_dict` output."""
+        payload = dict(data)
+        chip = dict(payload.pop("chip"))
+        core = CoreConfig(**dict(chip.pop("core")))
+        return cls(
+            chip=ChipConfig(core=core, **chip),
+            dmu=DMUConfig(**dict(payload.pop("dmu"))),
+            costs=CostModelConfig(**dict(payload.pop("costs"))),
+            locality=LocalityConfig(**dict(payload.pop("locality"))),
+            **payload,
+        )
 
 
 def default_paper_config(runtime: RuntimeKind = "tdm", scheduler: str = "fifo") -> SimulationConfig:

@@ -27,13 +27,19 @@ Use :func:`repro.experiments.registry.run_experiment` (or the ``tdm-repro``
 command-line tool) to run them by name.
 """
 
+from .cache import ResultCache, canonical_run_key
+from .campaign import CampaignEngine, RunRequest
 from .common import ExperimentResult, SimulationRunner
 from .registry import available_experiments, get_experiment, run_experiment
 
 __all__ = [
+    "CampaignEngine",
     "ExperimentResult",
+    "ResultCache",
+    "RunRequest",
     "SimulationRunner",
     "available_experiments",
+    "canonical_run_key",
     "get_experiment",
     "run_experiment",
 ]

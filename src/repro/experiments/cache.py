@@ -1,0 +1,124 @@
+"""Content-hashed, on-disk caching of simulation results.
+
+The campaign engine identifies every simulation by a *canonical run key*: a
+SHA-256 digest of the full :class:`~repro.config.SimulationConfig` (every
+field, via :meth:`~repro.config.SimulationConfig.to_dict`) plus the workload
+parameters that shape the generated task program (benchmark, problem scale,
+explicit granularity or the runtime whose optimal granularity is used, and
+the workload seed).
+
+This replaces the old hand-written ``SimulationRunner._config_token``
+string, which silently dropped several DMU fields (``tat_associativity``,
+``elements_per_list_entry``, ``ready_queue_entries``, ...) and collapsed the
+scheduler to the runtime name for the hardware baselines — both of which
+caused sweeps varying those fields to return stale cached results.  Hashing
+the complete configuration dictionary makes collisions impossible by
+construction: any field that can change simulation output is part of the
+digest.
+
+:class:`ResultCache` persists :class:`~repro.sim.machine.SimulationResult`
+rows as one JSON document per key under ``<dir>/<key[:2]>/<key>.json``.
+Writes go through a temporary file followed by :func:`os.replace`, so
+concurrent campaign processes sharing a cache directory can never observe a
+half-written entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Dict, Optional, Union
+
+from ..config import SimulationConfig
+from ..sim.machine import SimulationResult
+
+#: Bumped whenever the serialized result layout changes incompatibly; stale
+#: entries are treated as misses and resimulated rather than misread.
+CACHE_FORMAT_VERSION = 1
+
+
+def canonical_run_key(
+    config: SimulationConfig,
+    benchmark: str,
+    scale: float,
+    granularity: Optional[int] = None,
+    granularity_runtime: Optional[str] = None,
+    seed: int = 0,
+) -> str:
+    """SHA-256 digest identifying one simulation, collision-free.
+
+    ``granularity_runtime`` only matters when no explicit ``granularity`` is
+    given (the workload generator ignores it otherwise), so it is normalized
+    to ``None`` in that case — two requests that generate the identical
+    workload always map to the same key.
+    """
+    payload = {
+        "version": CACHE_FORMAT_VERSION,
+        "benchmark": benchmark,
+        "scale": repr(float(scale)),
+        "granularity": granularity,
+        "granularity_runtime": None if granularity is not None else granularity_runtime,
+        "workload_seed": seed,
+        "config": config.to_dict(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk store of serialized simulation results, one JSON file per key."""
+
+    def __init__(self, directory: Union[str, pathlib.Path]) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """Cache file for ``key`` (two-level fan-out keeps directories small)."""
+        return self.directory / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            if document.get("version") != CACHE_FORMAT_VERSION:
+                self.misses += 1
+                return None
+            result = SimulationResult.from_dict(document["result"])
+        except (OSError, json.JSONDecodeError, AttributeError, KeyError, TypeError, ValueError):
+            # Unreadable, truncated, or structurally malformed entries are
+            # misses: the campaign resimulates the point rather than aborting.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> pathlib.Path:
+        """Persist ``result`` under ``key`` atomically; returns the file path."""
+        return self.put_serialized(key, result.to_dict())
+
+    def put_serialized(self, key: str, result_dict: Dict[str, object]) -> pathlib.Path:
+        """Persist an already-serialized result (the parallel-merge path)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"version": CACHE_FORMAT_VERSION, "key": key, "result": result_dict}
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def clear(self) -> None:
+        """Delete every cached entry (keeps the directory itself)."""
+        for entry in self.directory.glob("*/*.json"):
+            entry.unlink()

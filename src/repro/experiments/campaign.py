@@ -1,0 +1,248 @@
+"""Parallel campaign engine with content-hashed result caching.
+
+The paper's evaluation is a large cartesian sweep — 9 benchmarks x 4
+runtimes x 5 schedulers x DMU sizing sweeps — in which every point is an
+independent simulation.  :class:`CampaignEngine` turns that into an
+embarrassingly parallel, incrementally resumable campaign:
+
+* every run is identified by a canonical content hash of its full
+  configuration (:func:`~repro.experiments.cache.canonical_run_key`), so two
+  requests collide only when they would produce the identical simulation;
+* results are memoized in-process *and* optionally persisted to an on-disk
+  :class:`~repro.experiments.cache.ResultCache`, so re-invoking an experiment
+  (or the benchmark suite) skips every already-simulated point;
+* :meth:`CampaignEngine.run_many` fans the uncached runs out over a
+  ``multiprocessing`` pool.  Workers return serialized results and the parent
+  merges them in key-sorted order, so the campaign output is bit-identical
+  to a serial run regardless of completion order or worker count.
+
+:class:`~repro.experiments.common.SimulationRunner` is a thin façade over
+this engine; the experiment harnesses declare their sweeps as lists of
+:class:`RunRequest` (their ``plan`` functions) and the registry prefetches
+them through :meth:`run_many` when ``--jobs`` is greater than one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pathlib
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..config import DMUConfig, SimulationConfig, default_paper_config
+from ..errors import ExperimentError
+from ..sim.machine import SimulationResult, run_simulation
+from ..workloads.registry import create_workload
+from .cache import ResultCache, canonical_run_key
+
+#: Runtimes whose optimal-granularity default follows the TDM optimum.
+_TDM_GRANULARITY_RUNTIMES = ("tdm", "task_superscalar")
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One simulation the caller wants: the arguments of ``runner.run``."""
+
+    benchmark: str
+    runtime: str
+    scheduler: str = "fifo"
+    granularity: Optional[int] = None
+    dmu: Optional[DMUConfig] = None
+    granularity_runtime: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ResolvedRun:
+    """A request resolved against the engine: canonical key + full config."""
+
+    request: RunRequest
+    key: str
+    config: SimulationConfig
+    #: Runtime whose Table-II optimal granularity shapes the workload when
+    #: the request gives no explicit granularity; None otherwise.
+    workload_runtime: Optional[str]
+
+
+def _simulate_entry(payload: Dict[str, object]) -> Tuple[str, Dict[str, object]]:
+    """Worker-side body: rebuild the run from plain dicts and simulate it.
+
+    Lives at module scope so it pickles under both fork and spawn start
+    methods.  Returns the canonical key with the serialized result; the
+    parent performs the deterministic merge.
+    """
+    config = SimulationConfig.from_dict(payload["config"])
+    workload = create_workload(
+        payload["benchmark"],
+        scale=payload["scale"],
+        granularity=payload["granularity"],
+        runtime=payload["workload_runtime"],
+        seed=payload["seed"],
+    )
+    result = run_simulation(workload.build_program(), config)
+    return payload["key"], result.to_dict()
+
+
+class CampaignEngine:
+    """Runs, parallelizes, memoizes and persists benchmark simulations."""
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        base_config: Optional[SimulationConfig] = None,
+        seed: int = 0,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        verbose: bool = False,
+    ) -> None:
+        if not (0.0 < scale <= 1.0):
+            raise ExperimentError(f"scale must be in (0, 1], got {scale}")
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.scale = scale
+        self.seed = seed
+        self.jobs = jobs
+        self.verbose = verbose
+        self.base_config = base_config or default_paper_config()
+        self.disk_cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self._memo: Dict[str, SimulationResult] = {}
+        self.simulations_run = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+
+    # ------------------------------------------------------------------ resolution
+    def config_for(
+        self,
+        runtime: str,
+        scheduler: str = "fifo",
+        dmu: Optional[DMUConfig] = None,
+    ) -> SimulationConfig:
+        """The full simulation configuration for one runtime/scheduler/DMU."""
+        config = replace(
+            self.base_config, runtime=runtime, scheduler=scheduler, seed=self.seed
+        )
+        if dmu is not None:
+            config = replace(config, dmu=dmu)
+        return config.validated()
+
+    def resolve(self, request: RunRequest) -> ResolvedRun:
+        """Attach the canonical key and effective configuration to a request."""
+        config = self.config_for(request.runtime, request.scheduler, request.dmu)
+        workload_runtime: Optional[str]
+        if request.granularity is not None:
+            workload_runtime = None
+        elif request.granularity_runtime is not None:
+            workload_runtime = request.granularity_runtime
+        elif request.runtime in _TDM_GRANULARITY_RUNTIMES:
+            workload_runtime = "tdm"
+        else:
+            workload_runtime = "software"
+        key = canonical_run_key(
+            config,
+            benchmark=request.benchmark,
+            scale=self.scale,
+            granularity=request.granularity,
+            granularity_runtime=workload_runtime,
+            seed=self.seed,
+        )
+        return ResolvedRun(request, key, config, workload_runtime)
+
+    # ------------------------------------------------------------------ lookup
+    def _lookup(self, resolved: ResolvedRun) -> Optional[SimulationResult]:
+        cached = self._memo.get(resolved.key)
+        if cached is not None:
+            self.memory_hits += 1
+            return cached
+        if self.disk_cache is not None:
+            restored = self.disk_cache.get(resolved.key)
+            if restored is not None:
+                self.disk_hits += 1
+                self._memo[resolved.key] = restored
+                return restored
+        return None
+
+    def _store(self, resolved: ResolvedRun, result: SimulationResult) -> None:
+        self._memo[resolved.key] = result
+        if self.disk_cache is not None:
+            self.disk_cache.put(resolved.key, result)
+
+    def _payload(self, resolved: ResolvedRun) -> Dict[str, object]:
+        return {
+            "key": resolved.key,
+            "benchmark": resolved.request.benchmark,
+            "scale": self.scale,
+            "granularity": resolved.request.granularity,
+            "workload_runtime": resolved.workload_runtime,
+            "seed": self.seed,
+            "config": resolved.config.to_dict(),
+        }
+
+    # ------------------------------------------------------------------ running
+    def run(self, request: RunRequest) -> SimulationResult:
+        """Run one simulation, consulting the memo and disk cache first."""
+        resolved = self.resolve(request)
+        cached = self._lookup(resolved)
+        if cached is not None:
+            return cached
+        result = self._simulate(resolved)
+        self._store(resolved, result)
+        return result
+
+    def run_many(self, requests: Sequence[RunRequest]) -> List[SimulationResult]:
+        """Run a batch, fanning uncached points out over a process pool.
+
+        The return list is aligned with ``requests``.  Workers return
+        serialized results; the parent deserializes and commits them in
+        key-sorted order, so the memo/disk state after a parallel batch is
+        identical to the state after the equivalent serial loop.
+        """
+        resolved = [self.resolve(request) for request in requests]
+        pending: Dict[str, ResolvedRun] = {}
+        for item in resolved:
+            if item.key not in pending and self._lookup(item) is None:
+                pending[item.key] = item
+        ordered = sorted(pending.values(), key=lambda item: item.key)
+        if len(ordered) > 1 and self.jobs > 1:
+            payloads = [self._payload(item) for item in ordered]
+            if self.verbose:  # pragma: no cover - console feedback only
+                print(f"[campaign] {len(payloads)} runs on {self.jobs} workers")
+            with multiprocessing.Pool(processes=min(self.jobs, len(payloads))) as pool:
+                outcomes = pool.map(_simulate_entry, payloads)
+            for key, result_dict in sorted(outcomes, key=lambda pair: pair[0]):
+                self.simulations_run += 1
+                self._memo[key] = SimulationResult.from_dict(result_dict)
+                if self.disk_cache is not None:
+                    # The worker already serialized; don't re-serialize.
+                    self.disk_cache.put_serialized(key, result_dict)
+        else:
+            for item in ordered:
+                self._store(item, self._simulate(item))
+        return [self._memo[item.key] for item in resolved]
+
+    def _simulate(self, resolved: ResolvedRun) -> SimulationResult:
+        """Run one simulation in-process."""
+        request = resolved.request
+        workload = create_workload(
+            request.benchmark,
+            scale=self.scale,
+            granularity=request.granularity,
+            runtime=resolved.workload_runtime,
+            seed=self.seed,
+        )
+        program = workload.build_program()
+        if self.verbose:  # pragma: no cover - console feedback only
+            print(
+                f"[run] {request.benchmark} runtime={request.runtime} "
+                f"scheduler={request.scheduler} tasks={program.num_tasks}"
+            )
+        self.simulations_run += 1
+        return run_simulation(program, resolved.config)
+
+    # ------------------------------------------------------------------ stats
+    def cache_info(self) -> Dict[str, int]:
+        """Counters for tests and reports."""
+        return {
+            "simulations_run": self.simulations_run,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "memoized": len(self._memo),
+        }

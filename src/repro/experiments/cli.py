@@ -10,6 +10,10 @@ Examples::
 
     # Run the full campaign and write one Markdown file per experiment
     tdm-repro all --scale 0.2 --output results/
+
+    # Fan the sweeps out over 8 worker processes with a persistent result
+    # cache: a second invocation simulates nothing
+    tdm-repro all --scale 0.2 --jobs 8 --cache-dir .campaign-cache --output results/
 """
 
 from __future__ import annotations
@@ -56,6 +60,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write CSV files when --output is used",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the campaign engine (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help="persist simulation results here; rerunning skips cached points",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list available experiments and exit",
@@ -74,7 +90,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     names = available_experiments() if args.experiment.lower() == "all" else [args.experiment]
-    runner = SimulationRunner(scale=args.scale, verbose=args.verbose)
+    runner = SimulationRunner(
+        scale=args.scale,
+        verbose=args.verbose,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
 
     exit_code = 0
     for name in names:

@@ -1,9 +1,11 @@
 """Shared infrastructure of the experiment harnesses.
 
 :class:`SimulationRunner` runs (workload, runtime, scheduler, configuration)
-combinations and memoizes the results so that experiments which share runs —
-for example the software FIFO baseline every figure normalizes to — do not
-simulate them twice.
+combinations on top of the :class:`~repro.experiments.campaign.CampaignEngine`,
+which memoizes results by a content hash of the full configuration — so
+experiments which share runs (for example the software FIFO baseline every
+figure normalizes to) do not simulate them twice, across processes or even
+across invocations when a cache directory is configured.
 
 :class:`ExperimentResult` is the uniform output format: named rows (one per
 plotted bar/point), free-form notes, and renderers for Markdown and CSV used
@@ -14,32 +16,22 @@ from __future__ import annotations
 
 import csv
 import io
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..analysis.metrics import geometric_mean
-from ..config import DMUConfig, SimulationConfig, default_paper_config
+from ..config import DMUConfig, SimulationConfig
+from ..sim.machine import SimulationResult
+from ..workloads.registry import PAPER_BENCHMARKS
+from .campaign import CampaignEngine, RunRequest
 from ..errors import ExperimentError
-from ..sim.machine import SimulationResult, run_simulation
-from ..workloads.registry import PAPER_BENCHMARKS, create_workload
 
 #: Scheduler names swept by the scheduling-flexibility experiments.
 SCHEDULERS = ("fifo", "lifo", "locality", "successor", "age")
 
 #: Default scheduler used when a single software policy is needed.
 BASELINE_SCHEDULER = "fifo"
-
-
-@dataclass(frozen=True)
-class RunKey:
-    """Cache key identifying one simulation."""
-
-    benchmark: str
-    runtime: str
-    scheduler: str
-    scale: float
-    granularity: Optional[int]
-    config_token: str
 
 
 @dataclass
@@ -105,7 +97,14 @@ class ExperimentResult:
 
 
 class SimulationRunner:
-    """Runs and memoizes benchmark simulations for the experiment harnesses."""
+    """Runs and memoizes benchmark simulations for the experiment harnesses.
+
+    A thin façade over :class:`~repro.experiments.campaign.CampaignEngine`
+    keeping the historical ``runner.run(...)`` call signature the harnesses
+    use.  ``jobs`` and ``cache_dir`` flow straight to the engine: with
+    ``jobs > 1`` batched prefetches (:meth:`prefetch`) fan out over a process
+    pool, and with ``cache_dir`` every result persists across invocations.
+    """
 
     def __init__(
         self,
@@ -113,29 +112,63 @@ class SimulationRunner:
         base_config: Optional[SimulationConfig] = None,
         seed: int = 0,
         verbose: bool = False,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, pathlib.Path]] = None,
     ) -> None:
-        if not (0.0 < scale <= 1.0):
-            raise ExperimentError(f"scale must be in (0, 1], got {scale}")
-        self.scale = scale
-        self.seed = seed
-        self.verbose = verbose
-        self.base_config = base_config or default_paper_config()
-        self._cache: Dict[RunKey, SimulationResult] = {}
+        self.engine = CampaignEngine(
+            scale=scale,
+            base_config=base_config,
+            seed=seed,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            verbose=verbose,
+        )
 
-    # ------------------------------------------------------------------ config helpers
+    # ------------------------------------------------------------------ engine façade
+    @property
+    def scale(self) -> float:
+        return self.engine.scale
+
+    @property
+    def seed(self) -> int:
+        return self.engine.seed
+
+    @property
+    def jobs(self) -> int:
+        return self.engine.jobs
+
+    @property
+    def verbose(self) -> bool:
+        return self.engine.verbose
+
+    @property
+    def base_config(self) -> SimulationConfig:
+        return self.engine.base_config
+
     def config_for(
         self,
         runtime: str,
         scheduler: str = BASELINE_SCHEDULER,
         dmu: Optional[DMUConfig] = None,
     ) -> SimulationConfig:
-        config = replace(self.base_config, runtime=runtime, scheduler=scheduler)
-        if dmu is not None:
-            config = replace(config, dmu=dmu)
-        return config.validated()
+        return self.engine.config_for(runtime, scheduler, dmu)
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/simulation counters of the underlying engine."""
+        return self.engine.cache_info()
 
     @staticmethod
     def _config_token(config: SimulationConfig) -> str:
+        """The legacy hand-written cache token.  DO NOT use for caching.
+
+        Kept only to document (and regression-test) the collision it caused:
+        it omits ``tat_associativity``, ``dat_associativity``,
+        ``elements_per_list_entry``, ``ready_queue_entries``,
+        ``instruction_issue_cycles``, ``noc_roundtrip_cycles`` and
+        ``unlimited``, so sweeps varying any of those mapped to the same key
+        and returned stale results.  Superseded by
+        :func:`repro.experiments.cache.canonical_run_key`.
+        """
         dmu = config.dmu
         return (
             f"{dmu.tat_entries}/{dmu.dat_entries}/{dmu.successor_list_entries}/"
@@ -161,32 +194,27 @@ class SimulationRunner:
         software optimum for the software/Carbon runtimes and the TDM optimum
         for the DMU-based runtimes, exactly as the paper's evaluation does).
         """
-        config = self.config_for(runtime, scheduler, dmu)
-        if granularity_runtime is None:
-            granularity_runtime = "tdm" if runtime in ("tdm", "task_superscalar") else "software"
-        key = RunKey(
-            benchmark=benchmark,
-            runtime=runtime,
-            scheduler=config.scheduler if runtime in ("tdm", "software") else runtime,
-            scale=self.scale,
-            granularity=granularity,
-            config_token=self._config_token(config) + f"/{granularity_runtime}",
+        return self.engine.run(
+            RunRequest(
+                benchmark=benchmark,
+                runtime=runtime,
+                scheduler=scheduler,
+                granularity=granularity,
+                dmu=dmu,
+                granularity_runtime=granularity_runtime,
+            )
         )
-        if key in self._cache:
-            return self._cache[key]
-        workload = create_workload(
-            benchmark,
-            scale=self.scale,
-            granularity=granularity,
-            runtime=granularity_runtime if granularity is None else None,
-            seed=self.seed,
-        )
-        program = workload.build_program()
-        if self.verbose:  # pragma: no cover - console feedback only
-            print(f"[run] {benchmark} runtime={runtime} scheduler={scheduler} tasks={program.num_tasks}")
-        result = run_simulation(program, config)
-        self._cache[key] = result
-        return result
+
+    def run_many(self, requests: Sequence[RunRequest]) -> List[SimulationResult]:
+        """Run a batch of requests, in parallel when ``jobs > 1``."""
+        return self.engine.run_many(requests)
+
+    def prefetch(self, requests: Iterable[RunRequest]) -> int:
+        """Warm the caches with ``requests``; later ``run`` calls hit the memo."""
+        batch = list(requests)
+        if batch:
+            self.engine.run_many(batch)
+        return len(batch)
 
     def software_baseline(self, benchmark: str) -> SimulationResult:
         """The software-runtime FIFO baseline every figure normalizes to."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..sim.timeline import Phase
+from .campaign import RunRequest
 from .common import ExperimentResult, SimulationRunner, select_benchmarks
 
 PAPER_MASTER_DEPS = {"cholesky": 0.84, "qr": 0.92, "streamcluster": 0.40}
@@ -33,6 +34,15 @@ COLUMNS = (
     "worker_EXEC",
     "worker_IDLE",
 )
+
+
+def plan(
+    runner: SimulationRunner,
+    benchmarks: Optional[Sequence[str]] = None,
+    **_: object,
+) -> list:
+    """Every simulation ``run`` will request (for parallel prefetching)."""
+    return [RunRequest(name, "software") for name in select_benchmarks(benchmarks)]
 
 
 def run(

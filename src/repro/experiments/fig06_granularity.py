@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..workloads.registry import create_workload
+from .campaign import RunRequest
 from .common import ExperimentResult, SimulationRunner, select_benchmarks
 
 #: Benchmarks swept in Figure 6 (Dedup and Ferret have a fixed granularity).
@@ -26,6 +27,21 @@ SWEEPABLE = (
 )
 
 COLUMNS = ("benchmark", "granularity", "granularity_label", "time_us", "normalized_time")
+
+
+def plan(
+    runner: SimulationRunner,
+    benchmarks: Optional[Sequence[str]] = None,
+    **_: object,
+) -> list:
+    """Every simulation ``run`` will request (for parallel prefetching)."""
+    names = [name for name in select_benchmarks(benchmarks) if name in SWEEPABLE]
+    requests = []
+    for name in names:
+        workload = create_workload(name, scale=runner.scale)
+        for option in workload.granularity_options():
+            requests.append(RunRequest(name, "software", granularity=option.value))
+    return requests
 
 
 def run(

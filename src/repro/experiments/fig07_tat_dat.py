@@ -17,6 +17,7 @@ from dataclasses import replace
 from typing import Optional, Sequence
 
 from ..config import DMUConfig
+from .campaign import RunRequest
 from .common import ExperimentResult, SimulationRunner, select_benchmarks
 
 #: Benchmarks shown individually in Figure 7 (the rest saturate at 512 entries).
@@ -38,6 +39,24 @@ def _sweep_dmu(base: DMUConfig, tat: int, dat: int) -> DMUConfig:
         dependence_list_entries=huge,
         reader_list_entries=huge,
     )
+
+
+def plan(
+    runner: SimulationRunner,
+    benchmarks: Optional[Sequence[str]] = None,
+    sizes: Sequence[int] = SIZES,
+    **_: object,
+) -> list:
+    """Every simulation ``run`` will request (for parallel prefetching)."""
+    names = select_benchmarks(benchmarks) if benchmarks is not None else list(SENSITIVE_BENCHMARKS)
+    base = runner.base_config.dmu
+    requests = []
+    for name in names:
+        requests.append(RunRequest(name, "tdm", dmu=DMUConfig.ideal()))
+        for tat in sizes:
+            for dat in sizes:
+                requests.append(RunRequest(name, "tdm", dmu=_sweep_dmu(base, tat, dat)))
+    return requests
 
 
 def run(

@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 
 from ..config import DMUConfig
 from ..errors import ExperimentError
+from .campaign import RunRequest
 from .common import ExperimentResult, SimulationRunner, select_benchmarks
 
 SIZES = (128, 512, 1024, 2048)
@@ -40,6 +41,31 @@ def _sweep_dmu(base: DMUConfig, sla: int, dla: int, rla: int) -> DMUConfig:
         dependence_list_entries=dla,
         reader_list_entries=rla,
     )
+
+
+def _combos(sizes: Sequence[int], mode: str) -> list:
+    if mode == "diagonal":
+        return [(size, size, size) for size in sizes]
+    return list(itertools.product(sizes, repeat=3))
+
+
+def plan(
+    runner: SimulationRunner,
+    benchmarks: Optional[Sequence[str]] = None,
+    sizes: Sequence[int] = SIZES,
+    mode: str = "diagonal",
+    **_: object,
+) -> list:
+    """Every simulation ``run`` will request (for parallel prefetching)."""
+    if mode not in ("diagonal", "grid"):
+        return []  # run() raises the proper error
+    base = runner.base_config.dmu
+    requests = []
+    for name in select_benchmarks(benchmarks):
+        requests.append(RunRequest(name, "tdm", dmu=DMUConfig.ideal()))
+        for sla, dla, rla in _combos(sizes, mode):
+            requests.append(RunRequest(name, "tdm", dmu=_sweep_dmu(base, sla, dla, rla)))
+    return requests
 
 
 def run(
@@ -64,10 +90,7 @@ def run(
         },
     )
     base = runner.base_config.dmu
-    if mode == "diagonal":
-        combos = [(size, size, size) for size in sizes]
-    else:
-        combos = list(itertools.product(sizes, repeat=3))
+    combos = _combos(sizes, mode)
 
     per_combo_perf = {combo: [] for combo in combos}
     for name in names:

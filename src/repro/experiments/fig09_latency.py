@@ -12,11 +12,27 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional, Sequence
 
+from .campaign import RunRequest
 from .common import ExperimentResult, SimulationRunner, select_benchmarks
 
 LATENCIES = (1, 4, 16)
 
 COLUMNS = ("benchmark", "access_cycles", "time_us", "speedup_vs_zero_latency")
+
+
+def plan(
+    runner: SimulationRunner,
+    benchmarks: Optional[Sequence[str]] = None,
+    latencies: Sequence[int] = LATENCIES,
+    **_: object,
+) -> list:
+    """Every simulation ``run`` will request (for parallel prefetching)."""
+    base = runner.base_config.dmu
+    requests = []
+    for name in select_benchmarks(benchmarks):
+        for latency in [0] + list(latencies):
+            requests.append(RunRequest(name, "tdm", dmu=replace(base, access_cycles=latency)))
+    return requests
 
 
 def run(

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from .campaign import RunRequest
 from .common import ExperimentResult, SimulationRunner, select_benchmarks
 
 COLUMNS = (
@@ -29,6 +30,19 @@ PAPER_AVERAGES = {
     "tdm_idle_fraction": 0.22,
     "max_reduction": ("blackscholes", 5.2),
 }
+
+
+def plan(
+    runner: SimulationRunner,
+    benchmarks: Optional[Sequence[str]] = None,
+    **_: object,
+) -> list:
+    """Every simulation ``run`` will request (for parallel prefetching)."""
+    requests = []
+    for name in select_benchmarks(benchmarks):
+        requests.append(RunRequest(name, "software"))
+        requests.append(RunRequest(name, "tdm", "fifo"))
+    return requests
 
 
 def run(

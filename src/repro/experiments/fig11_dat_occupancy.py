@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional, Sequence, Union
 
+from .campaign import RunRequest
 from .common import ExperimentResult, SimulationRunner, select_benchmarks
 
 #: Benchmarks plotted in Figure 11.
@@ -26,6 +27,24 @@ FIGURE_BENCHMARKS = ("blackscholes", "cholesky", "fluidanimate", "histogram", "q
 STATIC_BITS = (0, 4, 8, 12, 16)
 
 COLUMNS = ("benchmark", "index_policy", "average_occupied_sets", "total_sets", "time_us")
+
+
+def plan(
+    runner: SimulationRunner,
+    benchmarks: Optional[Sequence[str]] = None,
+    static_bits: Sequence[int] = STATIC_BITS,
+    **_: object,
+) -> list:
+    """Every simulation ``run`` will request (for parallel prefetching)."""
+    names = select_benchmarks(benchmarks) if benchmarks is not None else list(FIGURE_BENCHMARKS)
+    base = runner.base_config.dmu
+    requests = []
+    for name in names:
+        for bits in static_bits:
+            dmu = replace(base, index_selection="static", static_index_start_bit=int(bits))
+            requests.append(RunRequest(name, "tdm", dmu=dmu))
+        requests.append(RunRequest(name, "tdm", dmu=replace(base, index_selection="dynamic")))
+    return requests
 
 
 def run(

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from .campaign import RunRequest
 from .common import (
     ExperimentResult,
     SCHEDULERS,
@@ -35,6 +36,22 @@ PAPER_AVERAGES = {
     "dedup_best_improvement": 0.232,
     "cholesky_locality_vs_fifo": 0.042,
 }
+
+
+def plan(
+    runner: SimulationRunner,
+    benchmarks: Optional[Sequence[str]] = None,
+    schedulers: Sequence[str] = SCHEDULERS,
+    **_: object,
+) -> list:
+    """Every simulation ``run`` will request (for parallel prefetching)."""
+    requests = []
+    for name in select_benchmarks(benchmarks):
+        requests.append(RunRequest(name, "software"))
+        for scheduler in schedulers:
+            requests.append(RunRequest(name, "software", scheduler))
+            requests.append(RunRequest(name, "tdm", scheduler))
+    return requests
 
 
 def run(

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+from .campaign import RunRequest
 from .common import (
     ExperimentResult,
     SCHEDULERS,
@@ -32,6 +33,23 @@ PAPER_AVERAGES = {
     "task_superscalar_edp_reduction": 0.141,
     "opt_tdm_edp_reduction": 0.204,
 }
+
+
+def plan(
+    runner: SimulationRunner,
+    benchmarks: Optional[Sequence[str]] = None,
+    schedulers: Sequence[str] = SCHEDULERS,
+    **_: object,
+) -> list:
+    """Every simulation ``run`` will request (for parallel prefetching)."""
+    requests = []
+    for name in select_benchmarks(benchmarks):
+        requests.append(RunRequest(name, "software"))
+        requests.append(RunRequest(name, "carbon"))
+        requests.append(RunRequest(name, "task_superscalar"))
+        for scheduler in schedulers:
+            requests.append(RunRequest(name, "tdm", scheduler))
+    return requests
 
 
 def run(

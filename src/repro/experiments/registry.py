@@ -1,7 +1,16 @@
-"""Experiment registry: run any table/figure reproduction by name."""
+"""Experiment registry: run any table/figure reproduction by name.
+
+When an experiment module exposes a ``plan(runner, benchmarks, **kwargs)``
+function (every simulating harness does), :func:`run_experiment` prefetches
+the planned runs through the runner's campaign engine before invoking the
+harness.  With a parallel runner (``jobs > 1``) the whole sweep fans out
+over the process pool and the harness then assembles its rows from cache
+hits; with a serial runner the plan is skipped and behavior is unchanged.
+"""
 
 from __future__ import annotations
 
+import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import ExperimentError
@@ -68,8 +77,12 @@ def run_experiment(
     runner: Optional[SimulationRunner] = None,
     **kwargs: object,
 ) -> ExperimentResult:
-    """Run one experiment by name."""
+    """Run one experiment by name (prefetching its sweep when parallel)."""
     function = get_experiment(name)
+    if runner is not None and getattr(runner, "jobs", 1) > 1:
+        plan = getattr(sys.modules[function.__module__], "plan", None)
+        if plan is not None:
+            runner.prefetch(plan(runner, benchmarks=benchmarks, **kwargs))
     return function(scale=scale, benchmarks=benchmarks, runner=runner, **kwargs)
 
 
@@ -77,9 +90,15 @@ def run_all(
     scale: float = 1.0,
     benchmarks: Optional[Sequence[str]] = None,
     share_runner: bool = True,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, ExperimentResult]:
     """Run the full campaign (every table and figure), sharing cached runs."""
-    runner = SimulationRunner(scale=scale) if share_runner else None
+    runner = (
+        SimulationRunner(scale=scale, jobs=jobs, cache_dir=cache_dir)
+        if share_runner
+        else None
+    )
     results: Dict[str, ExperimentResult] = {}
     for name in available_experiments():
         results[name] = run_experiment(name, scale=scale, benchmarks=benchmarks, runner=runner)

@@ -65,6 +65,26 @@ class EnergyReport:
         total = self.total_energy_mj
         return self.dmu_energy_mj / total if total > 0 else 0.0
 
+    # ------------------------------------------------------------------ serialization
+    def to_dict(self) -> dict:
+        """JSON-safe form (all four stored fields; derived metrics recompute)."""
+        return {
+            "execution_seconds": self.execution_seconds,
+            "core_energy_mj": self.core_energy_mj,
+            "uncore_energy_mj": self.uncore_energy_mj,
+            "dmu_energy_mj": self.dmu_energy_mj,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyReport":
+        """Rebuild an :class:`EnergyReport` from :meth:`to_dict` output."""
+        return cls(
+            execution_seconds=data["execution_seconds"],
+            core_energy_mj=data["core_energy_mj"],
+            uncore_energy_mj=data["uncore_energy_mj"],
+            dmu_energy_mj=data["dmu_energy_mj"],
+        )
+
 
 class ChipEnergyModel:
     """Computes an :class:`EnergyReport` from a timeline and DMU statistics."""

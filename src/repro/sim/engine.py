@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Any, Callable, Generator, Iterable
 
 from ..errors import DeadlockError, SimulationError
@@ -98,10 +99,17 @@ class Engine:
         return self._now
 
     def schedule(self, delay: int | float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` ``delay`` cycles from now."""
-        if delay < 0:
+        """Run ``callback`` ``delay`` cycles from now.
+
+        Fractional delays (cost models may produce floats) are rounded
+        half-up to the nearest cycle rather than truncated, so a 2.7-cycle
+        cost is charged 3 cycles, not 2.  A delay that is still negative
+        after rounding is an error.
+        """
+        cycles = delay if isinstance(delay, int) else math.floor(delay + 0.5)
+        if cycles < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + int(delay), next(self._sequence), callback))
+        heapq.heappush(self._queue, (self._now + cycles, next(self._sequence), callback))
 
     def event(self, name: str = "event") -> SimEvent:
         """Create a new one-shot event bound to this engine."""

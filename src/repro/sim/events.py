@@ -20,6 +20,7 @@ reached, ...).
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -34,14 +35,20 @@ class Command:
 
 
 class Timeout(Command):
-    """Suspend the yielding process for a fixed number of cycles."""
+    """Suspend the yielding process for a fixed number of cycles.
+
+    Fractional cycle counts (cost models may produce floats) are rounded
+    half-up, matching :meth:`repro.sim.engine.Engine.schedule` — truncation
+    would silently shave up to a cycle off every event.
+    """
 
     __slots__ = ("cycles",)
 
     def __init__(self, cycles: int | float) -> None:
-        if cycles < 0:
+        rounded = cycles if isinstance(cycles, int) else math.floor(cycles + 0.5)
+        if rounded < 0:
             raise ValueError(f"Timeout cycles must be >= 0, got {cycles}")
-        self.cycles = int(cycles)
+        self.cycles = rounded
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Timeout({self.cycles})"

@@ -44,6 +44,10 @@ class SimulationResult:
     dat_average_occupied_sets: float = 0.0
     locality_hit_fraction: float = 0.0
     task_instances: List["TaskInstance"] = field(default_factory=list)
+    #: Set on results restored from the on-disk campaign cache, which does not
+    #: serialize per-task instances; live runs leave it None and count
+    #: ``task_instances`` directly.
+    finished_task_count: Optional[int] = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -97,7 +101,53 @@ class SimulationResult:
 
     @property
     def num_tasks_executed(self) -> int:
+        if self.finished_task_count is not None:
+            return self.finished_task_count
         return len([t for t in self.task_instances if t.is_finished])
+
+    # ------------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form for the on-disk campaign cache.
+
+        Everything the experiment harnesses consume round-trips exactly
+        (cycle counts and energies are plain ints/floats, so JSON preserves
+        them bit-for-bit).  Two deliberately lossy spots: timeline intervals
+        and per-task instances are dropped (see :meth:`Timeline.to_dict`);
+        only the finished-task count survives.
+        """
+        return {
+            "program_name": self.program_name,
+            "runtime_name": self.runtime_name,
+            "scheduler_name": self.scheduler_name,
+            "config": self.config.to_dict(),
+            "total_cycles": self.total_cycles,
+            "timeline": self.timeline.to_dict(),
+            "energy": self.energy.to_dict(),
+            "runtime_stats": self.runtime_stats,
+            "dmu_stats": self.dmu_stats.as_dict() if self.dmu_stats is not None else None,
+            "dat_average_occupied_sets": self.dat_average_occupied_sets,
+            "locality_hit_fraction": self.locality_hit_fraction,
+            "finished_task_count": self.num_tasks_executed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (cache deserialization)."""
+        dmu_stats = data.get("dmu_stats")
+        return cls(
+            program_name=data["program_name"],
+            runtime_name=data["runtime_name"],
+            scheduler_name=data["scheduler_name"],
+            config=SimulationConfig.from_dict(data["config"]),
+            total_cycles=int(data["total_cycles"]),
+            timeline=Timeline.from_dict(data["timeline"]),
+            energy=EnergyReport.from_dict(data["energy"]),
+            runtime_stats=dict(data.get("runtime_stats") or {}),
+            dmu_stats=DMUStats.from_dict(dmu_stats) if dmu_stats is not None else None,
+            dat_average_occupied_sets=float(data.get("dat_average_occupied_sets", 0.0)),
+            locality_hit_fraction=float(data.get("locality_hit_fraction", 0.0)),
+            finished_task_count=data.get("finished_task_count"),
+        )
 
 
 class Machine:

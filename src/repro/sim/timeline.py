@@ -167,6 +167,35 @@ class Timeline:
             return 0.0
         return 1.0 - totals[Phase.IDLE] / grand_total
 
+    # ------------------------------------------------------------------ serialization
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form: end cycle plus the per-thread phase totals.
+
+        Individual intervals are *not* serialized — they can number in the
+        millions for full-scale runs and nothing downstream of a finished
+        experiment consumes them (all reported metrics derive from the
+        totals).  A timeline restored via :meth:`from_dict` therefore has
+        empty ``intervals`` lists.
+        """
+        return {
+            "end_cycle": self.end_cycle,
+            "threads": [
+                {phase.value: thread.totals[phase] for phase in Phase}
+                for thread in self.threads
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Timeline":
+        """Rebuild a totals-only :class:`Timeline` from :meth:`to_dict` output."""
+        threads: List[ThreadTimeline] = []
+        for thread_id, totals in enumerate(data["threads"]):
+            thread = ThreadTimeline(thread_id, record_intervals=False)
+            for phase in Phase:
+                thread.totals[phase] = int(totals[phase.value])
+            threads.append(thread)
+        return cls(threads, end_cycle=int(data["end_cycle"]))
+
     def as_relative_rows(self) -> List[Mapping[str, float]]:
         """One row per thread with the relative time per phase (for reports)."""
         rows: List[Mapping[str, float]] = []

@@ -136,7 +136,14 @@ class TestPropertyBased:
         table = AliasTable("TAT", 64, 8)
         mapping = {}
         for address in addresses:
-            mapping[address] = table.allocate(address)
+            try:
+                mapping[address] = table.allocate(address)
+            except DMUStructureFullError:
+                # A set can legitimately fill up (e.g. nine size-1 addresses
+                # that are all multiples of 8 land in the same set of the
+                # 8-way table); rejection is correct model behavior, and the
+                # round-trip property applies to the accepted addresses.
+                continue
         assert len(set(mapping.values())) == len(mapping)
         for address, internal in mapping.items():
             assert table.lookup(address) == internal

@@ -1,0 +1,223 @@
+"""Campaign engine: canonical keys, result caching, parallel equivalence.
+
+The headline regression here: the old ``SimulationRunner._config_token``
+omitted several DMU fields, so two configurations differing only in (say)
+``tat_associativity`` mapped to the same memo key and sweeps returned stale
+results.  The canonical content hash must keep every such pair distinct.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import DMUConfig, default_paper_config
+from repro.errors import ExperimentError
+from repro.experiments.cache import ResultCache, canonical_run_key
+from repro.experiments.campaign import CampaignEngine, RunRequest
+from repro.experiments.common import SimulationRunner
+from repro.experiments.registry import run_experiment
+from repro.sim.machine import SimulationResult, run_simulation
+
+from tests.util import diamond_program, make_config
+
+SCALE = 0.1
+
+#: DMU fields the legacy token silently dropped, with a distinct second value
+#: that keeps the configuration valid.
+LEGACY_TOKEN_OMISSIONS = {
+    "tat_associativity": 4,
+    "dat_associativity": 4,
+    "elements_per_list_entry": 4,
+    "ready_queue_entries": 4096,
+    "instruction_issue_cycles": 16,
+    "noc_roundtrip_cycles": 60,
+    "unlimited": True,
+}
+
+
+def _key(config, **kwargs):
+    defaults = dict(benchmark="cholesky", scale=SCALE, seed=0)
+    defaults.update(kwargs)
+    return canonical_run_key(config, **defaults)
+
+
+class TestCanonicalKeyRegression:
+    @pytest.mark.parametrize("field_name,other_value", sorted(LEGACY_TOKEN_OMISSIONS.items()))
+    def test_legacy_token_collides_but_canonical_key_does_not(self, field_name, other_value):
+        """Two configs differing only in a dropped field: the old token is
+        identical (the collision), the canonical key is not (the fix)."""
+        base = default_paper_config()
+        varied = base.with_dmu(
+            dataclasses.replace(base.dmu, **{field_name: other_value})
+        ).validated()
+        assert getattr(base.dmu, field_name) != other_value
+        # The legacy token cannot tell the two configurations apart ...
+        assert SimulationRunner._config_token(base) == SimulationRunner._config_token(varied)
+        # ... the content hash always can.
+        assert _key(base) != _key(varied)
+
+    def test_scheduler_kept_for_hardware_runtimes(self):
+        """The old RunKey collapsed the scheduler to the runtime name for
+        carbon/task_superscalar; the canonical key must not."""
+        engine = CampaignEngine(scale=SCALE)
+        fifo = engine.resolve(RunRequest("cholesky", "carbon", "fifo"))
+        age = engine.resolve(RunRequest("cholesky", "carbon", "age"))
+        assert fifo.key != age.key
+
+    def test_seed_is_part_of_the_key(self):
+        seeded = CampaignEngine(scale=SCALE, seed=7)
+        unseeded = CampaignEngine(scale=SCALE, seed=0)
+        request = RunRequest("cholesky", "tdm")
+        assert seeded.resolve(request).key != unseeded.resolve(request).key
+
+    def test_explicit_granularity_normalizes_granularity_runtime(self):
+        engine = CampaignEngine(scale=SCALE)
+        a = engine.resolve(RunRequest("cholesky", "software", granularity=8))
+        b = engine.resolve(
+            RunRequest("cholesky", "software", granularity=8, granularity_runtime="tdm")
+        )
+        assert a.key == b.key
+
+    def test_distinct_workloads_distinct_keys(self):
+        config = default_paper_config()
+        assert _key(config) != _key(config, benchmark="qr")
+        assert _key(config) != _key(config, granularity=4)
+        assert _key(config) != _key(config, seed=3)
+        assert canonical_run_key(config, "cholesky", 0.1) != canonical_run_key(
+            config, "cholesky", 0.2
+        )
+
+
+class TestResultSerialization:
+    @pytest.fixture(scope="class")
+    def live_result(self):
+        return run_simulation(diamond_program(), make_config(runtime="tdm"))
+
+    def test_round_trip_preserves_consumed_metrics(self, live_result):
+        restored = SimulationResult.from_dict(
+            json.loads(json.dumps(live_result.to_dict()))
+        )
+        assert restored.total_cycles == live_result.total_cycles
+        assert restored.microseconds == live_result.microseconds
+        assert restored.edp == live_result.edp
+        assert restored.master_breakdown() == live_result.master_breakdown()
+        assert restored.worker_breakdown() == live_result.worker_breakdown()
+        assert restored.idle_fraction == live_result.idle_fraction
+        assert restored.master_creation_fraction == live_result.master_creation_fraction
+        assert restored.scheduler_name == live_result.scheduler_name
+        assert restored.config == live_result.config
+        assert restored.num_tasks_executed == live_result.num_tasks_executed
+        assert restored.dmu_stats.as_dict() == live_result.dmu_stats.as_dict()
+        assert restored.dat_average_occupied_sets == live_result.dat_average_occupied_sets
+
+    def test_speedup_between_live_and_restored(self, live_result):
+        restored = SimulationResult.from_dict(live_result.to_dict())
+        assert restored.speedup_over(live_result) == 1.0
+        assert restored.normalized_edp(live_result) == 1.0
+
+
+class TestResultCache:
+    def test_disk_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_simulation(diamond_program(), make_config(runtime="software"))
+        key = "ab" + "0" * 62
+        cache.put(key, result)
+        assert key in cache
+        restored = cache.get(key)
+        assert restored.total_cycles == result.total_cycles
+        assert restored.energy.to_dict() == result.energy.to_dict()
+        assert len(cache) == 1
+
+    def test_missing_and_corrupt_entries_are_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("cd" + "0" * 62) is None
+        path = cache.path_for("ef" + "0" * 62)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get("ef" + "0" * 62) is None
+        assert cache.misses == 2
+
+    @pytest.mark.parametrize(
+        "document",
+        ["[1, 2, 3]", '{"version": 1}', '{"version": 1, "result": {"oops": true}}'],
+    )
+    def test_structurally_malformed_entries_are_misses(self, tmp_path, document):
+        # Valid JSON of the wrong shape must resimulate, not abort the campaign.
+        cache = ResultCache(tmp_path)
+        key = "aa" + "0" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(document, encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = run_simulation(diamond_program(), make_config(runtime="software"))
+        cache.put("12" + "0" * 62, result)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestEngineCaching:
+    def test_memo_hit_and_counters(self):
+        runner = SimulationRunner(scale=SCALE)
+        first = runner.run("cholesky", "software")
+        second = runner.run("cholesky", "software")
+        assert first is second
+        info = runner.cache_info()
+        assert info["simulations_run"] == 1
+        assert info["memory_hits"] == 1
+
+    def test_second_invocation_simulates_nothing(self, tmp_path):
+        cold = SimulationRunner(scale=SCALE, cache_dir=tmp_path)
+        cold.run("cholesky", "software")
+        cold.run("cholesky", "tdm", "lifo")
+        assert cold.cache_info()["simulations_run"] == 2
+
+        warm = SimulationRunner(scale=SCALE, cache_dir=tmp_path)
+        a = warm.run("cholesky", "software")
+        b = warm.run("cholesky", "tdm", "lifo")
+        info = warm.cache_info()
+        assert info["simulations_run"] == 0
+        assert info["disk_hits"] == 2
+        assert a.total_cycles == cold.run("cholesky", "software").total_cycles
+        assert b.scheduler_name == "lifo"
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ExperimentError):
+            SimulationRunner(scale=SCALE, jobs=0)
+
+    def test_run_many_deduplicates(self):
+        runner = SimulationRunner(scale=SCALE)
+        requests = [RunRequest("cholesky", "software")] * 3
+        results = runner.run_many(requests)
+        assert len(results) == 3
+        assert results[0] is results[1] is results[2]
+        assert runner.cache_info()["simulations_run"] == 1
+
+
+class TestParallelEquivalence:
+    def test_jobs2_csv_is_byte_identical_to_serial(self, tmp_path):
+        serial = SimulationRunner(scale=SCALE)
+        parallel = SimulationRunner(scale=SCALE, jobs=2, cache_dir=tmp_path / "cache")
+        kwargs = dict(scale=SCALE, benchmarks=["blackscholes"])
+        serial_result = run_experiment("figure_12", runner=serial, **kwargs)
+        parallel_result = run_experiment("figure_12", runner=parallel, **kwargs)
+        assert parallel_result.to_csv() == serial_result.to_csv()
+        assert parallel_result.to_markdown() == serial_result.to_markdown()
+        # The prefetch covered the whole sweep (the FIFO baseline and the
+        # fifo scheduler point share one key): the harness itself then ran
+        # entirely from the memo.
+        assert parallel.cache_info()["simulations_run"] == 10
+
+    def test_parallel_results_persist_for_warm_rerun(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = SimulationRunner(scale=SCALE, jobs=2, cache_dir=cache_dir)
+        run_experiment("figure_10", runner=first, scale=SCALE, benchmarks=["blackscholes"])
+        assert first.cache_info()["simulations_run"] == 2
+
+        second = SimulationRunner(scale=SCALE, jobs=2, cache_dir=cache_dir)
+        run_experiment("figure_10", runner=second, scale=SCALE, benchmarks=["blackscholes"])
+        assert second.cache_info()["simulations_run"] == 0

@@ -71,6 +71,20 @@ class TestDMUConfig:
         assert dmu.tat_entries == 4096
         assert dmu.dat_entries == 2048
 
+    def test_ready_queue_smaller_than_tat_rejected(self):
+        # An undersized Ready Queue would overflow mid-simulation (the model
+        # treats overflow as a protocol error, not a blocking condition).
+        with pytest.raises(ConfigurationError, match="ready_queue_entries"):
+            DMUConfig(tat_entries=4096, ready_queue_entries=2048).validate()
+
+    def test_ready_queue_matching_tat_accepted(self):
+        DMUConfig(tat_entries=4096, dat_entries=4096, ready_queue_entries=4096).validate()
+
+    def test_simulation_config_round_trips_through_dict(self):
+        config = default_paper_config(runtime="software", scheduler="age")
+        rebuilt = SimulationConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
 
 class TestChipConfig:
     def test_defaults(self):

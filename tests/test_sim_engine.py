@@ -196,6 +196,34 @@ def test_schedule_in_past_rejected():
         engine.schedule(-5, lambda: None)
 
 
+def test_fractional_delays_round_half_up():
+    # int(delay) used to truncate: a 2.7-cycle cost lost 0.7 cycles per event.
+    engine = Engine()
+    fired_at = []
+    engine.schedule(2.7, lambda: fired_at.append(engine.now))
+    engine.schedule(0.5, lambda: fired_at.append(engine.now))
+    engine.schedule(0.4, lambda: fired_at.append(engine.now))
+    engine.run()
+    assert sorted(fired_at) == [0, 1, 3]
+
+
+def test_fractional_timeout_rounds_half_up():
+    assert Timeout(2.7).cycles == 3
+    assert Timeout(2.2).cycles == 2
+    assert Timeout(0.5).cycles == 1
+    assert Timeout(7).cycles == 7
+
+
+def test_negative_after_rounding_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-0.6, lambda: None)
+    # -0.4 rounds half-up to 0: schedulable "now", not in the past.
+    engine.schedule(-0.4, lambda: None)
+    with pytest.raises(ValueError):
+        Timeout(-0.6)
+
+
 def test_exception_in_process_is_wrapped():
     engine = Engine()
 

@@ -52,7 +52,9 @@ class TestDefaultConfigurationMatchesTable3:
 class TestScaling:
     def test_storage_grows_with_entries(self):
         small = DMUStorageModel(DMUConfig())
-        large = DMUStorageModel(DMUConfig(tat_entries=4096, dat_entries=4096))
+        large = DMUStorageModel(
+            DMUConfig(tat_entries=4096, dat_entries=4096, ready_queue_entries=4096)
+        )
         assert large.total_kilobytes > small.total_kilobytes
 
     def test_id_width_follows_table_sizes(self):
