@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Discrete-event kernel benchmark: raw event throughput and cold run time.
+
+Two measurements, recorded in ``BENCH_engine.json``:
+
+* **Raw kernel throughput** — a synthetic pure-kernel workload (processes
+  cycling through timeouts, event waits and lock handoffs, with no runtime
+  model on top) measured in events per second.  The command-object variant
+  (``yield Timeout(n)``) runs on every kernel generation; the bare-int
+  variant (``yield n``) is attempted and recorded as ``None`` on kernels
+  that predate the fast path.
+
+* **Cold single-run wall time** — the fig02/fig12 smoke set (three
+  benchmarks, serial, no result cache) simulated from scratch.  This is the
+  end-to-end number the kernel rewrite is judged by: the PR 1 campaign cache
+  makes *warm* sweeps fast, this makes every *cold* simulation fast.
+
+Usage::
+
+    # once, before a kernel change: pin the reference numbers
+    PYTHONPATH=src python scripts/bench_engine.py --record-baseline
+
+    # after the change: measure again and compute the speedup
+    PYTHONPATH=src python scripts/bench_engine.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.sim.engine import Engine
+from repro.sim.events import Timeout, WaitEvent
+from repro.sim.resources import Lock
+
+SMOKE_EXPERIMENTS = ("figure_02", "figure_12")
+SMOKE_BENCHMARKS = ["blackscholes", "cholesky", "qr"]
+
+
+# --------------------------------------------------------------------- raw kernel
+def _kernel_workload(engine: Engine, events_per_process: int, use_int_yields: bool):
+    """A synthetic process mix exercising timeouts, events and lock handoffs."""
+    lock = Lock(engine, "bench")
+    channel = engine.event("bench-start")
+
+    def worker(offset: int):
+        yield WaitEvent(channel)
+        for step in range(events_per_process):
+            delay = (step * 7 + offset) % 11
+            if use_int_yields:
+                yield delay
+            else:
+                yield Timeout(delay)
+            if step % 16 == 0:
+                from repro.sim.events import Acquire
+
+                yield Acquire(lock)
+                if use_int_yields:
+                    yield 3
+                else:
+                    yield Timeout(3)
+                lock.release(engine_process_of(engine, offset))
+
+    # Processes need a handle on themselves to release the lock; resolve via
+    # a registration list filled as processes are created.
+    procs = []
+
+    def engine_process_of(_engine, index):
+        return procs[index]
+
+    for index in range(64):
+        procs.append(engine.process(worker(index), name=f"bench{index}"))
+    channel.trigger()
+    return procs
+
+
+def measure_raw_kernel(events_per_process: int = 2000, use_int_yields: bool = False):
+    """Events/second of the synthetic kernel workload.
+
+    The bare-int variant returns ``None`` on kernels that predate the fast
+    path (they reject int yields); any other failure propagates — a kernel
+    that cannot run the command-object workload is a regression the
+    benchmark must report loudly, not record as ``null``.
+    """
+    engine = Engine()
+    try:
+        _kernel_workload(engine, events_per_process, use_int_yields)
+        start = time.perf_counter()
+        engine.run()
+        elapsed = time.perf_counter() - start
+    except Exception:
+        if use_int_yields:
+            return None
+        raise
+    # Each loop iteration is one timeout event plus the periodic lock pair.
+    total_events = 64 * events_per_process * (1 + 2 / 16)
+    return {
+        "seconds": round(elapsed, 4),
+        "events": int(total_events),
+        "events_per_sec": round(total_events / elapsed),
+    }
+
+
+# --------------------------------------------------------------------- cold smoke
+def measure_cold_smoke(scale: float = 0.1):
+    """Wall time of the fig02/fig12 smoke set, cold (serial, no cache)."""
+    from repro.experiments.common import SimulationRunner
+    from repro.experiments.registry import run_experiment
+
+    runner = SimulationRunner(scale=scale)
+    start = time.perf_counter()
+    rows = 0
+    for name in SMOKE_EXPERIMENTS:
+        result = run_experiment(name, scale=scale, benchmarks=SMOKE_BENCHMARKS, runner=runner)
+        rows += len(result.rows)
+    elapsed = time.perf_counter() - start
+    info = runner.cache_info()
+    return {
+        "seconds": round(elapsed, 3),
+        "rows": rows,
+        "simulations_run": info["simulations_run"],
+    }
+
+
+def _best(measure, repeat: int):
+    """Best (minimum-seconds) of ``repeat`` runs — the right statistic on a
+    shared/noisy machine, where every disturbance only ever adds time."""
+    results = [measure() for _ in range(repeat)]
+    results = [result for result in results if result is not None]
+    if not results:
+        return None
+    return min(results, key=lambda result: result["seconds"])
+
+
+def run_measurements(scale: float, repeat: int) -> dict:
+    return {
+        "raw_kernel_command_objects": _best(
+            lambda: measure_raw_kernel(use_int_yields=False), repeat
+        ),
+        "raw_kernel_bare_int": _best(lambda: measure_raw_kernel(use_int_yields=True), repeat),
+        "cold_smoke": _best(lambda: measure_cold_smoke(scale), repeat),
+        "repeat": repeat,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per measurement; the best run is kept")
+    parser.add_argument("--output", type=pathlib.Path, default=pathlib.Path("BENCH_engine.json"))
+    parser.add_argument(
+        "--record-baseline",
+        action="store_true",
+        help="store this run as the pre-change baseline instead of the current numbers",
+    )
+    args = parser.parse_args()
+
+    record = {}
+    if args.output.exists():
+        record = json.loads(args.output.read_text(encoding="utf-8"))
+
+    measured = run_measurements(args.scale, args.repeat)
+    measured["scale"] = args.scale
+    measured["experiments"] = list(SMOKE_EXPERIMENTS)
+    measured["benchmarks"] = SMOKE_BENCHMARKS
+
+    if args.record_baseline:
+        record["baseline"] = measured
+        record.pop("current", None)
+        record.pop("speedup", None)
+    else:
+        record["current"] = measured
+        baseline = record.get("baseline")
+        if baseline:
+            speedup = {
+                "cold_smoke": round(
+                    baseline["cold_smoke"]["seconds"] / measured["cold_smoke"]["seconds"], 2
+                )
+            }
+            base_raw = baseline.get("raw_kernel_command_objects")
+            cur_raw = measured.get("raw_kernel_command_objects")
+            if base_raw and cur_raw:
+                speedup["raw_events_per_sec"] = round(
+                    cur_raw["events_per_sec"] / base_raw["events_per_sec"], 2
+                )
+            record["speedup"] = speedup
+
+    args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(record, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -28,13 +28,19 @@ def main() -> None:
                         help="worker processes for the campaign engine (default: serial)")
     parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
                         help="persist simulation results here; reruns resume incrementally")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        help="size budget for --cache-dir (oldest-mtime entries evicted first)")
     args = parser.parse_args()
+    if args.cache_max_bytes is not None and args.cache_dir is None:
+        parser.error("--cache-max-bytes requires --cache-dir")
     args.output.mkdir(parents=True, exist_ok=True)
 
     runner = SimulationRunner(scale=args.scale, verbose=True,
-                              jobs=args.jobs, cache_dir=args.cache_dir)
+                              jobs=args.jobs, cache_dir=args.cache_dir,
+                              cache_max_bytes=args.cache_max_bytes)
     sweep_runner = SimulationRunner(scale=args.sweep_scale or args.scale, verbose=True,
-                                    jobs=args.jobs, cache_dir=args.cache_dir)
+                                    jobs=args.jobs, cache_dir=args.cache_dir,
+                                    cache_max_bytes=args.cache_max_bytes)
 
     plan = [
         ("table_03", dict(runner=runner)),
@@ -58,6 +64,10 @@ def main() -> None:
         path = args.output / f"{result.experiment}.md"
         path.write_text(result.to_markdown(), encoding="utf-8")
         print(f"=== {name} done in {time.time() - start:.1f}s -> {path}", flush=True)
+
+    evicted = runner.prune_cache() + sweep_runner.prune_cache()
+    if evicted:
+        print(f"=== cache budget: evicted {evicted} oldest entries", flush=True)
 
 
 if __name__ == "__main__":

@@ -23,8 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..errors import ValidationError
-from ..runtime.task import TaskInstance, TaskInstanceFactory, TaskProgram
-from ..runtime.tracker import DependenceTracker
+from ..runtime.task import TaskInstance, TaskProgram
 
 
 @dataclass(frozen=True)
@@ -36,20 +35,38 @@ class ReferenceGraph:
 
     @classmethod
     def from_program(cls, program: TaskProgram) -> "ReferenceGraph":
-        factory = TaskInstanceFactory()
-        tracker = DependenceTracker()
-        instances: List[TaskInstance] = []
+        """Build the maximal dependence graph straight from the definitions.
+
+        Mirrors :meth:`DependenceTracker.register_task` (last writer and
+        ordered reader lists per address) but operates on task uids directly:
+        the graph runs once per simulation as a safety net, and
+        materializing full :class:`TaskInstance` objects for it was pure
+        overhead.  ``tests/test_analysis.py`` pins the equivalence against a
+        tracker-built graph.
+        """
+        last_writer: Dict[int, int] = {}
+        readers: Dict[int, List[int]] = {}
+        edges: List[Tuple[int, int]] = []
         region_of: Dict[int, int] = {}
         for region_index, region in enumerate(program.regions):
             for definition in region.tasks:
-                instance = factory.create(definition, region_index)
-                tracker.register_task(instance)
-                instances.append(instance)
-                region_of[definition.uid] = region_index
-        edges: List[Tuple[int, int]] = []
-        for instance in instances:
-            for successor in instance.successors:
-                edges.append((instance.uid, successor.uid))
+                uid = definition.uid
+                region_of[uid] = region_index
+                for dependence in definition.dependences:
+                    address = dependence.address
+                    writer = last_writer.get(address)
+                    if writer is not None and writer != uid:
+                        edges.append((writer, uid))
+                    if dependence.is_output:
+                        for reader in readers.get(address, ()):
+                            if reader != uid:
+                                edges.append((reader, uid))
+                        readers[address] = []
+                        last_writer[address] = uid
+                    else:
+                        reader_list = readers.setdefault(address, [])
+                        if uid not in reader_list:
+                            reader_list.append(uid)
         return cls(edges=tuple(edges), region_of=region_of)
 
 

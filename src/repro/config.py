@@ -266,7 +266,13 @@ class SimulationConfig:
     scheduler: str = "fifo"
     seed: int = 0
     max_cycles: int = 2_000_000_000_000
-    record_timeline: bool = True
+    #: Opt-in interval tracing: when True every thread keeps its full
+    #: (phase, start, end) interval list for trace visualization.  The
+    #: default records per-phase totals only — intervals are never
+    #: serialized and nothing downstream of a finished experiment reads
+    #: them, while materializing them dominated timeline overhead in the
+    #: simulation hot loop.
+    record_timeline: bool = False
     validate_execution: bool = True
 
     def validate(self) -> None:

@@ -15,8 +15,7 @@ module implements in :func:`dat_index_start_bit`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import DMUStructureFullError
 
@@ -30,15 +29,13 @@ def dat_index_start_bit(size: int) -> int:
     """
     if size <= 1:
         return 0
-    return max(0, size.bit_length() - 1)
+    return size.bit_length() - 1
 
 
-@dataclass
-class _Way:
-    """One way of one set: a tag (full address) and the internal ID it maps to."""
-
-    address: int
-    internal_id: int
+#: One way of one set: ``(address, internal_id)`` — a tag (full address) and
+#: the internal ID it maps to.  A plain tuple: ways are allocated and scanned
+#: on every DMU instruction.
+_Way = Tuple[int, int]
 
 
 class AliasTable:
@@ -63,6 +60,10 @@ class AliasTable:
         self._sets: Dict[int, List[_Way]] = {}
         self._by_address: Dict[int, int] = {}
         self._address_set: Dict[int, int] = {}
+        # Occupied-set count maintained incrementally: allocate/release keep
+        # it in sync so occupancy sampling (once per add_dependence) does not
+        # rescan every set.
+        self._occupied_sets = 0
         # Internal IDs are handed out lazily (fresh counter + recycled stack)
         # so that very large "ideal" configurations cost nothing up front.
         self._next_fresh_id = 0
@@ -93,12 +94,12 @@ class AliasTable:
 
     def occupied_sets(self) -> int:
         """Number of sets that currently hold at least one valid entry."""
-        return sum(1 for ways in self._sets.values() if ways)
+        return self._occupied_sets
 
     def sample_occupancy(self) -> None:
         """Record the current occupied-set count (drives Figure 11)."""
         self._occupied_set_samples += 1
-        self._occupied_set_total += self.occupied_sets()
+        self._occupied_set_total += self._occupied_sets
 
     def average_occupied_sets(self) -> float:
         """Mean number of occupied sets over all samples taken so far."""
@@ -147,11 +148,15 @@ class AliasTable:
         else:
             internal_id = self._next_fresh_id
             self._next_fresh_id += 1
-        ways.append(_Way(address=address, internal_id=internal_id))
+        if not ways:
+            self._occupied_sets += 1
+        ways.append((address, internal_id))
         self._by_address[address] = internal_id
         self._address_set[address] = set_index
         self.allocations += 1
-        self.peak_occupancy = max(self.peak_occupancy, self.entries_in_use)
+        occupancy = len(self._by_address)
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
         return internal_id
 
     def release(self, address: int) -> int:
@@ -161,10 +166,12 @@ class AliasTable:
             raise KeyError(f"{self.name}: address {address:#x} is not mapped")
         set_index = self._address_set.pop(address)
         ways = self._sets.get(set_index, [])
-        for position, way in enumerate(ways):
-            if way.address == address:
+        for position, (way_address, _way_id) in enumerate(ways):
+            if way_address == address:
                 del ways[position]
                 break
+        if not ways:
+            self._occupied_sets -= 1
         self._recycled_ids.append(internal_id)
         return internal_id
 

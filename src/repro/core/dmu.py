@@ -101,6 +101,7 @@ class DependenceManagementUnit:
         )
         self.ready_queue = ReadyQueue(config.ready_queue_entries)
         self.stats = DMUStats()
+        self._access_cycles = config.access_cycles
         # Model-level bookkeeping (not hardware state): reverse maps used to
         # release alias-table entries and report descriptor addresses.
         self._descriptor_of_task: Dict[int, int] = {}
@@ -155,16 +156,18 @@ class DependenceManagementUnit:
             self.stats.record_blocked(DLA)
             return DMUBlocked(DLA)
 
+        stats = self.stats
+        structure_accesses = stats.structure_accesses
         accesses = 0
         task_id = self.tat.allocate(descriptor_address)
         accesses += 2  # associative lookup + directory write
-        self.stats.record_access(TAT, 2)
+        structure_accesses[TAT] += 2
         successor_list, sla_accesses = self.successor_lists.new_list()
         accesses += sla_accesses
-        self.stats.record_access(SLA, sla_accesses)
+        structure_accesses[SLA] += sla_accesses
         dependence_list, dla_accesses = self.dependence_lists.new_list()
         accesses += dla_accesses
-        self.stats.record_access(DLA, dla_accesses)
+        structure_accesses[DLA] += dla_accesses
         self.task_table.install(
             task_id,
             TaskTableEntry(
@@ -176,12 +179,13 @@ class DependenceManagementUnit:
             ),
         )
         accesses += 1
-        self.stats.record_access(TASK_TABLE, 1)
+        structure_accesses[TASK_TABLE] += 1
         self._descriptor_of_task[task_id] = descriptor_address
 
-        cycles = self._cycles(accesses)
-        self.stats.record_instruction("create_task", cycles)
-        self.stats.tasks_created += 1
+        cycles = accesses * self._access_cycles
+        stats.instructions["create_task"] += 1
+        stats.total_cycles += cycles
+        stats.tasks_created += 1
         return CreateTaskResult(cycles=cycles, task_id=task_id)
 
     # ------------------------------------------------------------------ add_dependence
@@ -217,25 +221,27 @@ class DependenceManagementUnit:
         if blocked is not None:
             return blocked
 
+        stats = self.stats
+        structure_accesses = stats.structure_accesses
         accesses = 2  # TAT lookup + Task Table read performed above
-        self.stats.record_access(TAT, 1)
-        self.stats.record_access(TASK_TABLE, 1)
+        structure_accesses[TAT] += 1
+        structure_accesses[TASK_TABLE] += 1
 
         # DAT lookup (+ allocation and Dependence Table install on a miss).
         accesses += 1
-        self.stats.record_access(DAT, 1)
+        structure_accesses[DAT] += 1
         if dep_is_new:
             dep_id = self.dat.allocate(dependence_address, size)
             accesses += 1
-            self.stats.record_access(DAT, 1)
+            structure_accesses[DAT] += 1
             dep_entry = DependenceTableEntry()
             self.dependence_table.install(dep_id, dep_entry)
             accesses += 1
-            self.stats.record_access(DEP_TABLE, 1)
+            structure_accesses[DEP_TABLE] += 1
             self._address_of_dependence[dep_id] = (dependence_address, size)
         else:
             accesses += 1
-            self.stats.record_access(DEP_TABLE, 1)
+            structure_accesses[DEP_TABLE] += 1
         assert dep_entry is not None and dep_id is not None
 
         predecessors_added = 0
@@ -243,7 +249,7 @@ class DependenceManagementUnit:
         # "Insert depID in dependence list of taskID"
         dla_accesses = self.dependence_lists.append(task_entry.dependence_list, dep_id)
         accesses += dla_accesses
-        self.stats.record_access(DLA, dla_accesses)
+        structure_accesses[DLA] += dla_accesses
 
         # "if lastWriterID of depID is valid": RAW / WAW / WAR-with-writer edge.
         if dep_entry.last_writer_valid and dep_entry.last_writer != task_id:
@@ -251,8 +257,8 @@ class DependenceManagementUnit:
             writer_entry = self.task_table.get(writer_id)
             sla_accesses = self.successor_lists.append(writer_entry.successor_list, task_id)
             accesses += sla_accesses + 2  # successor insert + two counter updates
-            self.stats.record_access(SLA, sla_accesses)
-            self.stats.record_access(TASK_TABLE, 2)
+            structure_accesses[SLA] += sla_accesses
+            structure_accesses[TASK_TABLE] += 2
             writer_entry.successor_count += 1
             task_entry.predecessor_count += 1
             predecessors_added += 1
@@ -263,10 +269,10 @@ class DependenceManagementUnit:
                 reader_list, rla_accesses = self.reader_lists.new_list()
                 dep_entry.reader_list = reader_list
                 accesses += rla_accesses
-                self.stats.record_access(RLA, rla_accesses)
+                structure_accesses[RLA] += rla_accesses
             rla_accesses = self.reader_lists.append(dep_entry.reader_list, task_id)
             accesses += rla_accesses
-            self.stats.record_access(RLA, rla_accesses)
+            structure_accesses[RLA] += rla_accesses
         else:
             # WAR edges: every current reader gains this task as a successor.
             for reader_id in readers:
@@ -275,8 +281,8 @@ class DependenceManagementUnit:
                 reader_entry = self.task_table.get(reader_id)
                 sla_accesses = self.successor_lists.append(reader_entry.successor_list, task_id)
                 accesses += sla_accesses + 2
-                self.stats.record_access(SLA, sla_accesses)
-                self.stats.record_access(TASK_TABLE, 2)
+                structure_accesses[SLA] += sla_accesses
+                structure_accesses[TASK_TABLE] += 2
                 reader_entry.successor_count += 1
                 task_entry.predecessor_count += 1
                 predecessors_added += 1
@@ -284,16 +290,17 @@ class DependenceManagementUnit:
             if dep_entry.reader_list >= 0:
                 rla_accesses = self.reader_lists.flush(dep_entry.reader_list)
                 accesses += rla_accesses
-                self.stats.record_access(RLA, rla_accesses)
+                structure_accesses[RLA] += rla_accesses
             # "Set lastWriterID of depID to taskID and mark valid"
             dep_entry.set_last_writer(task_id)
             accesses += 1
-            self.stats.record_access(DEP_TABLE, 1)
+            structure_accesses[DEP_TABLE] += 1
 
         self.dat.sample_occupancy()
-        cycles = self._cycles(accesses)
-        self.stats.record_instruction("add_dependence", cycles)
-        self.stats.dependences_added += 1
+        cycles = accesses * self._access_cycles
+        stats.instructions["add_dependence"] += 1
+        stats.total_cycles += cycles
+        stats.dependences_added += 1
         return AddDependenceResult(
             cycles=cycles, dependence_id=dep_id, predecessors_added=predecessors_added
         )
@@ -374,19 +381,21 @@ class DependenceManagementUnit:
         """Retire a finished task (ISA ``finish_task``); Algorithm 2 of the paper."""
         task_id = self._lookup_task(descriptor_address)
         entry = self.task_table.get(task_id)
+        stats = self.stats
+        structure_accesses = stats.structure_accesses
         accesses = 2  # TAT lookup + Task Table read
-        self.stats.record_access(TAT, 1)
-        self.stats.record_access(TASK_TABLE, 1)
+        structure_accesses[TAT] += 1
+        structure_accesses[TASK_TABLE] += 1
         tasks_woken = 0
 
         # First loop: wake up successors.
         successors, sla_accesses = self.successor_lists.iterate(entry.successor_list)
         accesses += sla_accesses
-        self.stats.record_access(SLA, sla_accesses)
+        structure_accesses[SLA] += sla_accesses
         for successor_id in successors:
             successor_entry = self.task_table.get(successor_id)
             accesses += 1
-            self.stats.record_access(TASK_TABLE, 1)
+            structure_accesses[TASK_TABLE] += 1
             successor_entry.predecessor_count -= 1
             if successor_entry.predecessor_count < 0:
                 raise DMUProtocolError(
@@ -395,13 +404,13 @@ class DependenceManagementUnit:
             if successor_entry.predecessor_count == 0 and successor_entry.creation_complete:
                 self.ready_queue.push(successor_id)
                 accesses += 1
-                self.stats.record_access(READY_QUEUE, 1)
+                structure_accesses[READY_QUEUE] += 1
                 tasks_woken += 1
 
         # Second loop: clean this task out of its dependences.
         dependences, dla_accesses = self.dependence_lists.iterate(entry.dependence_list)
         accesses += dla_accesses
-        self.stats.record_access(DLA, dla_accesses)
+        structure_accesses[DLA] += dla_accesses
         for dep_id in dependences:
             if not self.dependence_table.is_valid(dep_id):
                 # The dependence entry was already recycled by an earlier
@@ -409,15 +418,15 @@ class DependenceManagementUnit:
                 continue
             dep_entry = self.dependence_table.get(dep_id)
             accesses += 1
-            self.stats.record_access(DEP_TABLE, 1)
+            structure_accesses[DEP_TABLE] += 1
             if dep_entry.reader_list >= 0:
                 _found, rla_accesses = self.reader_lists.remove(dep_entry.reader_list, task_id)
                 accesses += rla_accesses
-                self.stats.record_access(RLA, rla_accesses)
+                structure_accesses[RLA] += rla_accesses
             if dep_entry.last_writer_valid and dep_entry.last_writer == task_id:
                 dep_entry.invalidate_last_writer()
                 accesses += 1
-                self.stats.record_access(DEP_TABLE, 1)
+                structure_accesses[DEP_TABLE] += 1
             reader_list_empty = (
                 dep_entry.reader_list < 0 or self.reader_lists.is_empty(dep_entry.reader_list)
             )
@@ -425,52 +434,53 @@ class DependenceManagementUnit:
                 if dep_entry.reader_list >= 0:
                     rla_accesses = self.reader_lists.free_list(dep_entry.reader_list)
                     accesses += rla_accesses
-                    self.stats.record_access(RLA, rla_accesses)
+                    structure_accesses[RLA] += rla_accesses
                 self.dependence_table.free(dep_id)
                 accesses += 1
-                self.stats.record_access(DEP_TABLE, 1)
+                structure_accesses[DEP_TABLE] += 1
                 address, _size = self._address_of_dependence.pop(dep_id)
                 self.dat.release(address)
                 accesses += 1
-                self.stats.record_access(DAT, 1)
+                structure_accesses[DAT] += 1
 
         # Free the task's own resources.
         sla_free_accesses = self.successor_lists.free_list(entry.successor_list)
         accesses += sla_free_accesses
-        self.stats.record_access(SLA, sla_free_accesses)
+        structure_accesses[SLA] += sla_free_accesses
         dla_free_accesses = self.dependence_lists.free_list(entry.dependence_list)
         accesses += dla_free_accesses
-        self.stats.record_access(DLA, dla_free_accesses)
+        structure_accesses[DLA] += dla_free_accesses
         self.task_table.free(task_id)
         accesses += 1
-        self.stats.record_access(TASK_TABLE, 1)
+        structure_accesses[TASK_TABLE] += 1
         self.tat.release(descriptor_address)
         accesses += 1
-        self.stats.record_access(TAT, 1)
+        structure_accesses[TAT] += 1
         self._descriptor_of_task.pop(task_id, None)
 
-        cycles = self._cycles(accesses)
-        self.stats.record_instruction("finish_task", cycles)
-        self.stats.tasks_finished += 1
+        cycles = accesses * self._access_cycles
+        stats.instructions["finish_task"] += 1
+        stats.total_cycles += cycles
+        stats.tasks_finished += 1
         return FinishTaskResult(cycles=cycles, tasks_woken=tasks_woken)
 
     # ------------------------------------------------------------------ get_ready_task
     def get_ready_task(self) -> GetReadyTaskResult:
         """Pop the next ready task (ISA ``get_ready_task``)."""
-        accesses = 1  # Ready Queue access
-        self.stats.record_access(READY_QUEUE, 1)
+        stats = self.stats
+        stats.structure_accesses[READY_QUEUE] += 1
+        stats.instructions["get_ready_task"] += 1
         task_id = self.ready_queue.pop()
         if task_id is None:
-            cycles = self._cycles(accesses)
-            self.stats.record_instruction("get_ready_task", cycles)
-            self.stats.null_ready_pops += 1
+            cycles = self._access_cycles
+            stats.total_cycles += cycles
+            stats.null_ready_pops += 1
             return GetReadyTaskResult(cycles=cycles, descriptor_address=None)
         entry = self.task_table.get(task_id)
-        accesses += 1
-        self.stats.record_access(TASK_TABLE, 1)
-        cycles = self._cycles(accesses)
-        self.stats.record_instruction("get_ready_task", cycles)
-        self.stats.ready_pops += 1
+        stats.structure_accesses[TASK_TABLE] += 1
+        cycles = 2 * self._access_cycles
+        stats.total_cycles += cycles
+        stats.ready_pops += 1
         return GetReadyTaskResult(
             cycles=cycles,
             descriptor_address=entry.descriptor_address,

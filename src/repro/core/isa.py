@@ -12,52 +12,68 @@ When a DMU structure has no free entry the instruction cannot make progress;
 instead of mutating state partially the DMU returns :class:`DMUBlocked`, and
 the simulated core retries once capacity is freed (the paper gives the ISA
 instructions blocking/barrier semantics).
+
+One result object is allocated per ISA instruction — the innermost unit of
+work of every DMU-based simulation — so these are plain ``__slots__`` classes
+with ``blocked`` as a class attribute rather than frozen dataclasses (whose
+generated ``__init__`` pays an ``object.__setattr__`` call per field).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass(frozen=True)
 class DMUBlocked:
     """The instruction would block: ``structure`` has no free entry."""
 
-    structure: str
-    cycles: int = 0
+    __slots__ = ("structure", "cycles")
 
-    @property
-    def blocked(self) -> bool:
-        return True
+    blocked = True
+
+    def __init__(self, structure: str, cycles: int = 0) -> None:
+        self.structure = structure
+        self.cycles = cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DMUBlocked(structure={self.structure!r}, cycles={self.cycles})"
 
 
-@dataclass(frozen=True)
 class CreateTaskResult:
     """Outcome of ``create_task(task_desc)``."""
 
-    cycles: int
-    task_id: int
+    __slots__ = ("cycles", "task_id")
 
-    @property
-    def blocked(self) -> bool:
-        return False
+    blocked = False
+
+    def __init__(self, cycles: int, task_id: int) -> None:
+        self.cycles = cycles
+        self.task_id = task_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CreateTaskResult(cycles={self.cycles}, task_id={self.task_id})"
 
 
-@dataclass(frozen=True)
 class AddDependenceResult:
     """Outcome of ``add_dependence(task_desc, dep_addr, size, direction)``."""
 
-    cycles: int
-    dependence_id: int
-    predecessors_added: int
+    __slots__ = ("cycles", "dependence_id", "predecessors_added")
 
-    @property
-    def blocked(self) -> bool:
-        return False
+    blocked = False
+
+    def __init__(self, cycles: int, dependence_id: int, predecessors_added: int) -> None:
+        self.cycles = cycles
+        self.dependence_id = dependence_id
+        self.predecessors_added = predecessors_added
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AddDependenceResult(cycles={self.cycles}, "
+            f"dependence_id={self.dependence_id}, "
+            f"predecessors_added={self.predecessors_added})"
+        )
 
 
-@dataclass(frozen=True)
 class CompleteCreationResult:
     """Outcome of the creation-completion step.
 
@@ -69,27 +85,33 @@ class CompleteCreationResult:
     pushes the task to the Ready Queue when its predecessor count is zero.
     """
 
-    cycles: int
-    became_ready: bool
+    __slots__ = ("cycles", "became_ready")
 
-    @property
-    def blocked(self) -> bool:
-        return False
+    blocked = False
+
+    def __init__(self, cycles: int, became_ready: bool) -> None:
+        self.cycles = cycles
+        self.became_ready = became_ready
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompleteCreationResult(cycles={self.cycles}, became_ready={self.became_ready})"
 
 
-@dataclass(frozen=True)
 class FinishTaskResult:
     """Outcome of ``finish_task(task_desc)``."""
 
-    cycles: int
-    tasks_woken: int
+    __slots__ = ("cycles", "tasks_woken")
 
-    @property
-    def blocked(self) -> bool:
-        return False
+    blocked = False
+
+    def __init__(self, cycles: int, tasks_woken: int) -> None:
+        self.cycles = cycles
+        self.tasks_woken = tasks_woken
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FinishTaskResult(cycles={self.cycles}, tasks_woken={self.tasks_woken})"
 
 
-@dataclass(frozen=True)
 class GetReadyTaskResult:
     """Outcome of ``get_ready_task()``.
 
@@ -97,14 +119,27 @@ class GetReadyTaskResult:
     hardware returns a null pointer).
     """
 
-    cycles: int
-    descriptor_address: Optional[int]
-    num_successors: int = 0
+    __slots__ = ("cycles", "descriptor_address", "num_successors")
 
-    @property
-    def blocked(self) -> bool:
-        return False
+    blocked = False
+
+    def __init__(
+        self,
+        cycles: int,
+        descriptor_address: Optional[int],
+        num_successors: int = 0,
+    ) -> None:
+        self.cycles = cycles
+        self.descriptor_address = descriptor_address
+        self.num_successors = num_successors
 
     @property
     def is_null(self) -> bool:
         return self.descriptor_address is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GetReadyTaskResult(cycles={self.cycles}, "
+            f"descriptor_address={self.descriptor_address!r}, "
+            f"num_successors={self.num_successors})"
+        )

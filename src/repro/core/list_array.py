@@ -16,8 +16,7 @@ DMU can charge the corresponding latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
 
 from ..errors import DMUStructureFullError
 
@@ -25,23 +24,33 @@ from ..errors import DMUStructureFullError
 INVALID_ELEMENT = 0xFFF
 
 
-@dataclass
 class _ListEntry:
-    """One SRAM entry: element slots plus the Next pointer."""
+    """One SRAM entry: element slots plus the Next pointer.
 
-    elements: List[int]
-    next_index: int
-    in_use: bool = False
+    ``valid`` mirrors the number of non-invalid slots so the fullness and
+    length checks performed on every DMU instruction do not rescan the slot
+    array.
+    """
+
+    __slots__ = ("elements", "next_index", "in_use", "valid")
+
+    def __init__(self, elements: List[int], next_index: int, in_use: bool = False) -> None:
+        self.elements = elements
+        self.next_index = next_index
+        self.in_use = in_use
+        self.valid = sum(1 for element in elements if element != INVALID_ELEMENT)
 
     def count(self) -> int:
-        return sum(1 for element in self.elements if element != INVALID_ELEMENT)
+        return self.valid
 
     def is_full(self) -> bool:
-        return all(element != INVALID_ELEMENT for element in self.elements)
+        return self.valid == len(self.elements)
 
     def clear_elements(self) -> None:
-        for slot in range(len(self.elements)):
-            self.elements[slot] = INVALID_ELEMENT
+        elements = self.elements
+        for slot in range(len(elements)):
+            elements[slot] = INVALID_ELEMENT
+        self.valid = 0
 
 
 class ListArray:
@@ -91,7 +100,8 @@ class ListArray:
         entry.clear_elements()
         entry.next_index = index
         self._in_use += 1
-        self.peak_entries_used = max(self.peak_entries_used, self._in_use)
+        if self._in_use > self.peak_entries_used:
+            self.peak_entries_used = self._in_use
         return index
 
     def _release_entry(self, index: int) -> None:
@@ -110,8 +120,8 @@ class ListArray:
 
     def appending_needs_new_entry(self, head: int) -> bool:
         """True when appending one element to the list would allocate an entry."""
-        tail = self._tail_index(head)
-        return self._entries[tail].is_full()
+        tail = self._entries[self._tail_index(head)]
+        return tail.valid == len(tail.elements)
 
     def append(self, head: int, value: int) -> int:
         """Append ``value`` to the list starting at ``head``; returns accesses.
@@ -122,45 +132,72 @@ class ListArray:
         """
         if value == INVALID_ELEMENT:
             raise ValueError("cannot store the invalid-element marker")
+        entries = self._entries
         accesses = 0
         index = head
         while True:
             accesses += 1
-            entry = self._entries[index]
-            if not entry.is_full():
-                for slot, element in enumerate(entry.elements):
+            entry = entries[index]
+            if entry.valid < len(entry.elements):
+                elements = entry.elements
+                for slot, element in enumerate(elements):
                     if element == INVALID_ELEMENT:
-                        entry.elements[slot] = value
+                        elements[slot] = value
+                        entry.valid += 1
                         return accesses
             if entry.next_index == index:
                 new_index = self._allocate_entry()
                 accesses += 1
                 entry.next_index = new_index
-                self._entries[new_index].elements[0] = value
+                new_entry = entries[new_index]
+                new_entry.elements[0] = value
+                new_entry.valid = 1
                 return accesses
             index = entry.next_index
 
     def iterate(self, head: int) -> Tuple[List[int], int]:
         """Return ``(values, accesses)`` for the whole list."""
+        entries = self._entries
         values: List[int] = []
         accesses = 0
-        for index in self._walk(head):
+        index = head
+        while True:
             accesses += 1
-            entry = self._entries[index]
-            values.extend(element for element in entry.elements if element != INVALID_ELEMENT)
-        return values, accesses
+            entry = entries[index]
+            if not entry.in_use:
+                raise ValueError(f"{self.name}: list head {head} references a free entry")
+            if entry.valid:
+                values.extend(
+                    element for element in entry.elements if element != INVALID_ELEMENT
+                )
+            if entry.next_index == index:
+                return values, accesses
+            if accesses > self.num_entries:
+                raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
+            index = entry.next_index
 
     def remove(self, head: int, value: int) -> Tuple[bool, int]:
         """Remove the first occurrence of ``value``; returns ``(found, accesses)``."""
+        entries = self._entries
         accesses = 0
-        for index in self._walk(head):
+        index = head
+        while True:
             accesses += 1
-            entry = self._entries[index]
-            for slot, element in enumerate(entry.elements):
-                if element == value:
-                    entry.elements[slot] = INVALID_ELEMENT
-                    return True, accesses
-        return False, accesses
+            entry = entries[index]
+            if not entry.in_use:
+                raise ValueError(f"{self.name}: list head {head} references a free entry")
+            if entry.valid:
+                elements = entry.elements
+                for slot, element in enumerate(elements):
+                    if element == value:
+                        elements[slot] = INVALID_ELEMENT
+                        entry.valid -= 1
+                        return True, accesses
+            if entry.next_index == index:
+                return False, accesses
+            if accesses > self.num_entries:
+                raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
+            index = entry.next_index
 
     def flush(self, head: int) -> int:
         """Empty the list (keeping its head entry allocated); returns accesses.
@@ -188,7 +225,21 @@ class ListArray:
 
     def length(self, head: int) -> int:
         """Number of valid elements in the list (no access accounting)."""
-        return sum(self._entries[index].count() for index in self._walk(head))
+        entries = self._entries
+        total = 0
+        visited = 0
+        index = head
+        while True:
+            entry = entries[index]
+            if not entry.in_use:
+                raise ValueError(f"{self.name}: list head {head} references a free entry")
+            total += entry.valid
+            visited += 1
+            if entry.next_index == index:
+                return total
+            if visited > self.num_entries:
+                raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
+            index = entry.next_index
 
     def is_empty(self, head: int) -> bool:
         """True when the list holds no valid element."""
@@ -215,11 +266,19 @@ class ListArray:
             index = entry.next_index
 
     def _tail_index(self, head: int) -> int:
-        tail: Optional[int] = None
-        for index in self._walk(head):
-            tail = index
-        assert tail is not None
-        return tail
+        entries = self._entries
+        index = head
+        visited = 0
+        while True:
+            entry = entries[index]
+            if not entry.in_use:
+                raise ValueError(f"{self.name}: list head {head} references a free entry")
+            visited += 1
+            if entry.next_index == index:
+                return index
+            if visited > self.num_entries:
+                raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
+            index = entry.next_index
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

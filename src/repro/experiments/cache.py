@@ -118,6 +118,50 @@ class ResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*/*.json"))
 
+    def total_bytes(self) -> int:
+        """Total on-disk size of all cached entries."""
+        total = 0
+        for entry in self.directory.glob("*/*.json"):
+            try:
+                total += entry.stat().st_size
+            except OSError:  # entry vanished (concurrent prune/clear)
+                continue
+        return total
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict oldest entries (by mtime) until the cache fits ``max_bytes``.
+
+        Returns the number of entries deleted.  Eviction order is
+        oldest-modification-first, so long-lived cache directories shed the
+        results that have gone longest without being rewritten; a concurrent
+        writer refreshing an entry's mtime protects it.  Entries that vanish
+        mid-scan (another process pruning the same directory) are skipped.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = []
+        total = 0
+        for path in self.directory.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path, stat.st_size))
+            total += stat.st_size
+        if total <= max_bytes:
+            return 0
+        evicted = 0
+        for _mtime, path, size in sorted(entries):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        return evicted
+
     def clear(self) -> None:
         """Delete every cached entry (keeps the directory itself)."""
         for entry in self.directory.glob("*/*.json"):

@@ -92,22 +92,30 @@ class CampaignEngine:
         seed: int = 0,
         jobs: int = 1,
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        cache_max_bytes: Optional[int] = None,
         verbose: bool = False,
     ) -> None:
         if not (0.0 < scale <= 1.0):
             raise ExperimentError(f"scale must be in (0, 1], got {scale}")
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        if cache_max_bytes is not None and cache_max_bytes < 0:
+            raise ExperimentError(f"cache_max_bytes must be >= 0, got {cache_max_bytes}")
         self.scale = scale
         self.seed = seed
         self.jobs = jobs
         self.verbose = verbose
         self.base_config = base_config or default_paper_config()
         self.disk_cache = ResultCache(cache_dir) if cache_dir is not None else None
+        #: Size budget for the on-disk cache; enforced (oldest-mtime entries
+        #: evicted first) after every parallel batch and via
+        #: :meth:`prune_disk_cache`.
+        self.cache_max_bytes = cache_max_bytes
         self._memo: Dict[str, SimulationResult] = {}
         self.simulations_run = 0
         self.memory_hits = 0
         self.disk_hits = 0
+        self.cache_evictions = 0
 
     # ------------------------------------------------------------------ resolution
     def config_for(
@@ -216,7 +224,17 @@ class CampaignEngine:
         else:
             for item in ordered:
                 self._store(item, self._simulate(item))
+        if ordered:
+            self.prune_disk_cache()
         return [self._memo[item.key] for item in resolved]
+
+    def prune_disk_cache(self) -> int:
+        """Enforce ``cache_max_bytes`` on the disk cache; returns evictions."""
+        if self.disk_cache is None or self.cache_max_bytes is None:
+            return 0
+        evicted = self.disk_cache.prune(self.cache_max_bytes)
+        self.cache_evictions += evicted
+        return evicted
 
     def _simulate(self, resolved: ResolvedRun) -> SimulationResult:
         """Run one simulation in-process."""
@@ -245,4 +263,5 @@ class CampaignEngine:
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "memoized": len(self._memo),
+            "cache_evictions": self.cache_evictions,
         }

@@ -72,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist simulation results here; rerunning skips cached points",
     )
     parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help="size budget for --cache-dir; oldest entries are evicted "
+        "(by mtime) whenever the cache exceeds it",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list available experiments and exit",
@@ -90,11 +97,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     names = available_experiments() if args.experiment.lower() == "all" else [args.experiment]
+    if args.cache_max_bytes is not None and args.cache_dir is None:
+        parser.error("--cache-max-bytes requires --cache-dir")
     runner = SimulationRunner(
         scale=args.scale,
         verbose=args.verbose,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
     )
 
     exit_code = 0
@@ -110,6 +120,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             csv_path = args.output / f"{result.experiment}.csv"
             csv_path.write_text(result.to_csv(), encoding="utf-8")
         print(f"wrote {markdown_path}")
+    evicted = runner.prune_cache()
+    if evicted:
+        print(f"cache budget: evicted {evicted} oldest entries")
     return exit_code
 
 

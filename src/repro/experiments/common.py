@@ -114,6 +114,7 @@ class SimulationRunner:
         verbose: bool = False,
         jobs: int = 1,
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        cache_max_bytes: Optional[int] = None,
     ) -> None:
         self.engine = CampaignEngine(
             scale=scale,
@@ -121,6 +122,7 @@ class SimulationRunner:
             seed=seed,
             jobs=jobs,
             cache_dir=cache_dir,
+            cache_max_bytes=cache_max_bytes,
             verbose=verbose,
         )
 
@@ -156,6 +158,10 @@ class SimulationRunner:
     def cache_info(self) -> Dict[str, int]:
         """Hit/miss/simulation counters of the underlying engine."""
         return self.engine.cache_info()
+
+    def prune_cache(self) -> int:
+        """Enforce the engine's disk-cache size budget; returns evictions."""
+        return self.engine.prune_disk_cache()
 
     @staticmethod
     def _config_token(config: SimulationConfig) -> str:

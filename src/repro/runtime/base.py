@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 from ..config import SimulationConfig
 from ..schedulers.base import ReadyEntry, Scheduler
 from ..sim.engine import Engine
-from ..sim.events import Command, NotificationEvent
+from ..sim.events import Acquire, Command, NotificationEvent
 from ..sim.noc import NocModel
 from ..sim.resources import Lock
 from .cost_model import RuntimeCostModel
@@ -63,6 +63,10 @@ class RuntimeSystem(abc.ABC):
         self.scheduler = scheduler
         self.pool = ReadyPool(scheduler)
         self.runtime_lock = Lock(engine, "runtime-lock")
+        #: Reusable ``Acquire(runtime_lock)`` command: the command object is
+        #: immutable and yielded thousands of times per simulation, so the
+        #: runtimes share one instance instead of allocating per acquisition.
+        self.acquire_runtime_lock = Acquire(self.runtime_lock)
         self.wake_channel = NotificationEvent(engine, "ready-pool")
         self._factory = TaskInstanceFactory()
         self.instances_by_descriptor: Dict[int, TaskInstance] = {}

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..schedulers.base import ReadyEntry
 from ..schedulers.fifo import FifoScheduler
-from ..sim.events import Acquire, Timeout
+from ..sim.events import Acquire
 from .base import RuntimeGenerator, RuntimeSystem
 from .ready_pool import ReadyPool
 from .task import TaskDefinition, TaskInstance
@@ -41,21 +41,25 @@ class CarbonRuntime(RuntimeSystem):
         # configured software scheduler and use a FIFO pool.
         self.pool = ReadyPool(FifoScheduler())
         self.tracker = DependenceTracker()
+        # Fixed per-operation costs hoisted out of the per-yield hot path.
+        self._alloc_cycles = self.costs.sw_task_alloc_cycles()
+        self._lock_cycles = self.costs.lock_acquire_cycles()
+        self._hw_queue_cycles = self.costs.hw_queue_cycles()
 
     # ------------------------------------------------------------------ creation
     def create_task(
         self, thread: "SimThread", definition: TaskDefinition, region_index: int
     ) -> RuntimeGenerator:
         instance = self.new_instance(definition, region_index)
-        yield Timeout(self.costs.sw_task_alloc_cycles())
-        yield Timeout(self.costs.sw_dependence_lookup_cycles(definition.num_dependences))
-        yield Acquire(self.runtime_lock)
-        yield Timeout(self.costs.lock_acquire_cycles())
+        yield self._alloc_cycles
+        yield self.costs.sw_dependence_lookup_cycles(definition.num_dependences)
+        yield self.acquire_runtime_lock
+        yield self._lock_cycles
         match = self.tracker.register_task(instance)
-        yield Timeout(self.costs.sw_dependence_commit_cycles(match))
+        yield self.costs.sw_dependence_commit_cycles(match)
         self.runtime_lock.release(thread.process)
         if match.initially_ready:
-            yield Timeout(self.costs.hw_queue_cycles())
+            yield self._hw_queue_cycles
             self.push_ready(
                 instance,
                 producer_core=thread.core_id,
@@ -67,16 +71,16 @@ class CarbonRuntime(RuntimeSystem):
     def try_get_task(self, thread: "SimThread") -> RuntimeGenerator:
         if not self.pool.peek_available():
             return None
-        yield Timeout(self.costs.hw_queue_cycles())
+        yield self._hw_queue_cycles
         entry: Optional[ReadyEntry] = self.pool.pop(thread.core_id)
         return entry
 
     # ------------------------------------------------------------------ finalization
     def finish_task(self, thread: "SimThread", instance: TaskInstance) -> RuntimeGenerator:
-        yield Acquire(self.runtime_lock)
-        yield Timeout(self.costs.lock_acquire_cycles())
+        yield self.acquire_runtime_lock
+        yield self._lock_cycles
         newly_ready = self.tracker.finish_task(instance)
-        yield Timeout(self.costs.sw_finish_cycles(len(instance.successors)))
+        yield self.costs.sw_finish_cycles(len(instance.successors))
         # The task's data is available as soon as its finalization is logged;
         # successors may start while the hardware queue insertions below are
         # still in flight, so the finish timestamp is recorded first.
@@ -84,7 +88,7 @@ class CarbonRuntime(RuntimeSystem):
         self.tasks_finished += 1
         self.runtime_lock.release(thread.process)
         for successor in newly_ready:
-            yield Timeout(self.costs.hw_queue_cycles())
+            yield self._hw_queue_cycles
             self.push_ready(
                 successor,
                 producer_core=thread.core_id,

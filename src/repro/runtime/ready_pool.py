@@ -18,6 +18,9 @@ from ..schedulers.base import ReadyEntry, Scheduler
 class ReadyPool:
     """Scheduler-backed pool of ready tasks with statistics."""
 
+    __slots__ = ("scheduler", "total_pushes", "total_pops", "failed_pops",
+                 "peak_size", "_ready_seq", "_size")
+
     def __init__(self, scheduler: Scheduler) -> None:
         self.scheduler = scheduler
         self.total_pushes = 0
@@ -25,6 +28,10 @@ class ReadyPool:
         self.failed_pops = 0
         self.peak_size = 0
         self._ready_seq = 0
+        # Pool size mirrored here: every mutation goes through push/pop, and
+        # the emptiness check idle workers perform on each wake-up must not
+        # chase scheduler.__len__ through two more calls.
+        self._size = 0
 
     def next_ready_seq(self) -> int:
         """Monotonic sequence number assigned to entries in push order."""
@@ -49,7 +56,9 @@ class ReadyPool:
         )
         self.scheduler.push(entry)
         self.total_pushes += 1
-        self.peak_size = max(self.peak_size, len(self.scheduler))
+        size = self._size = self._size + 1
+        if size > self.peak_size:
+            self.peak_size = size
         return entry
 
     def pop(self, core_id: int) -> Optional[ReadyEntry]:
@@ -59,15 +68,16 @@ class ReadyPool:
             self.failed_pops += 1
         else:
             self.total_pops += 1
+            self._size -= 1
         return entry
 
     def __len__(self) -> int:
-        return len(self.scheduler)
+        return self._size
 
     @property
     def is_empty(self) -> bool:
-        return len(self.scheduler) == 0
+        return self._size == 0
 
     def peek_available(self) -> bool:
         """Cheap emptiness check (no cost is charged for it in the simulation)."""
-        return len(self.scheduler) > 0
+        return self._size > 0

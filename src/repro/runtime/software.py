@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from ..schedulers.base import ReadyEntry
-from ..sim.events import Acquire, Timeout
+from ..sim.events import Acquire
 from .base import RuntimeGenerator, RuntimeSystem
 from .task import TaskDefinition, TaskInstance
 from .tracker import DependenceTracker
@@ -33,6 +33,12 @@ class SoftwareRuntime(RuntimeSystem):
     def __init__(self, config, scheduler, engine, noc) -> None:
         super().__init__(config, scheduler, engine, noc)
         self.tracker = DependenceTracker()
+        # Fixed per-operation costs hoisted out of the per-yield hot path.
+        costs = self.costs
+        self._alloc_cycles = costs.sw_task_alloc_cycles()
+        self._lock_cycles = costs.lock_acquire_cycles()
+        self._pop_cycles = costs.sw_pop_cycles()
+        self._push_cycles = costs.sw_push_cycles()
 
     # ------------------------------------------------------------------ creation
     def create_task(
@@ -41,15 +47,15 @@ class SoftwareRuntime(RuntimeSystem):
         instance = self.new_instance(definition, region_index)
         # Descriptor allocation and dependence-region lookups happen outside
         # the lock; only linking the task into the TDG needs mutual exclusion.
-        yield Timeout(self.costs.sw_task_alloc_cycles())
-        yield Timeout(self.costs.sw_dependence_lookup_cycles(definition.num_dependences))
-        yield Acquire(self.runtime_lock)
-        yield Timeout(self.costs.lock_acquire_cycles())
+        yield self._alloc_cycles
+        yield self.costs.sw_dependence_lookup_cycles(definition.num_dependences)
+        yield self.acquire_runtime_lock
+        yield self._lock_cycles
         match = self.tracker.register_task(instance)
-        yield Timeout(self.costs.sw_dependence_commit_cycles(match))
+        yield self.costs.sw_dependence_commit_cycles(match)
         pushed = False
         if match.initially_ready:
-            yield Timeout(self.costs.sw_push_cycles())
+            yield self._push_cycles
             self.push_ready(
                 instance,
                 producer_core=thread.core_id,
@@ -65,22 +71,22 @@ class SoftwareRuntime(RuntimeSystem):
     def try_get_task(self, thread: "SimThread") -> RuntimeGenerator:
         if not self.pool.peek_available():
             return None
-        yield Acquire(self.runtime_lock)
-        yield Timeout(self.costs.lock_acquire_cycles())
+        yield self.acquire_runtime_lock
+        yield self._lock_cycles
         entry: Optional[ReadyEntry] = self.pool.pop(thread.core_id)
         if entry is not None:
-            yield Timeout(self.costs.sw_pop_cycles())
+            yield self._pop_cycles
         self.runtime_lock.release(thread.process)
         return entry
 
     # ------------------------------------------------------------------ finalization
     def finish_task(self, thread: "SimThread", instance: TaskInstance) -> RuntimeGenerator:
-        yield Acquire(self.runtime_lock)
-        yield Timeout(self.costs.lock_acquire_cycles())
+        yield self.acquire_runtime_lock
+        yield self._lock_cycles
         newly_ready = self.tracker.finish_task(instance)
-        yield Timeout(self.costs.sw_finish_cycles(len(instance.successors)))
+        yield self.costs.sw_finish_cycles(len(instance.successors))
         for successor in newly_ready:
-            yield Timeout(self.costs.sw_push_cycles())
+            yield self._push_cycles
             self.push_ready(
                 successor,
                 producer_core=thread.core_id,

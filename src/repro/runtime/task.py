@@ -15,7 +15,6 @@ predecessor count, successors, timestamps, executing core).
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -49,27 +48,31 @@ class AccessMode(enum.Enum):
 
 @dataclass(frozen=True)
 class DependenceSpec:
-    """One ``depend(...)`` clause: a memory region and an access direction."""
+    """One ``depend(...)`` clause: a memory region and an access direction.
+
+    ``direction`` and ``is_output`` are precomputed at construction: they are
+    consulted once per dependence per task registration (an inner loop of
+    every runtime model) and the enum properties were measurable there.
+    """
 
     address: int
     size: int
     mode: AccessMode
+    direction: str = field(init=False, compare=False, repr=False)
+    is_output: bool = field(init=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.address < 0:
             raise InvalidProgramError(f"negative dependence address: {self.address:#x}")
         if self.size <= 0:
             raise InvalidProgramError(f"dependence size must be positive, got {self.size}")
-
-    @property
-    def direction(self) -> str:
-        """The direction communicated to the DMU ('in' or 'out').
-
-        The ``add_dependence`` ISA instruction only distinguishes inputs from
-        outputs; an ``inout`` access behaves as an output (it both waits for
-        the previous writer/readers and becomes the new last writer).
-        """
-        return "out" if self.mode.is_output else "in"
+        # The ``add_dependence`` ISA instruction only distinguishes inputs
+        # from outputs; an ``inout`` access behaves as an output (it both
+        # waits for the previous writer/readers and becomes the new last
+        # writer).
+        output = self.mode.is_output
+        object.__setattr__(self, "is_output", output)
+        object.__setattr__(self, "direction", "out" if output else "in")
 
 
 @dataclass(frozen=True)
@@ -123,6 +126,7 @@ class TaskInstance:
         "definition",
         "descriptor_address",
         "state",
+        "finished",
         "num_predecessors",
         "successors",
         "num_successors",
@@ -139,6 +143,9 @@ class TaskInstance:
         self.definition = definition
         self.descriptor_address = descriptor_address
         self.state = TaskState.CREATED
+        #: Mirrors ``state is TaskState.FINISHED`` as a plain attribute; the
+        #: dependence tracker tests it once per matched reader/writer.
+        self.finished = False
         self.num_predecessors = 0
         self.successors: List["TaskInstance"] = []
         self.num_successors = 0
@@ -172,7 +179,7 @@ class TaskInstance:
 
     @property
     def is_finished(self) -> bool:
-        return self.state == TaskState.FINISHED
+        return self.finished
 
     def add_successor(self, successor: "TaskInstance") -> None:
         """Link ``successor`` after this task (mirrors the DMU successor list)."""
@@ -191,6 +198,7 @@ class TaskInstance:
 
     def mark_finished(self, cycle: int) -> None:
         self.state = TaskState.FINISHED
+        self.finished = True
         self.finish_cycle = cycle
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -267,10 +275,11 @@ class TaskInstanceFactory:
     """Materializes :class:`TaskInstance` objects with unique descriptor addresses."""
 
     def __init__(self) -> None:
-        self._counter = itertools.count()
+        self._next_index = 0
 
     def create(self, definition: TaskDefinition, region_index: int = 0) -> TaskInstance:
-        index = next(self._counter)
+        index = self._next_index
+        self._next_index = index + 1
         address = TASK_DESCRIPTOR_BASE + index * TASK_DESCRIPTOR_STRIDE
         return TaskInstance(definition, address, region_index=region_index)
 

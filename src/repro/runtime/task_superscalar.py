@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from ..core.dmu import DependenceManagementUnit
 from ..schedulers.base import ReadyEntry
-from ..sim.events import Acquire, NotificationEvent, Timeout, WaitEvent
+from ..sim.events import Acquire, NotificationEvent, WaitEvent
 from ..sim.resources import Lock
 from ..sim.timeline import Phase
 from .base import RuntimeGenerator, RuntimeSystem
@@ -35,8 +35,14 @@ class TaskSuperscalarRuntime(RuntimeSystem):
         super().__init__(config, scheduler, engine, noc)
         self._dmu = DependenceManagementUnit(config.dmu)
         self.dmu_lock = Lock(engine, "tss")
+        self._acquire_dmu_lock = Acquire(self.dmu_lock)
         self.space_freed = NotificationEvent(engine, "tss-space")
         self.blocked_instruction_events = 0
+        # Fixed per-operation costs hoisted out of the per-yield hot path.
+        self._issue_cycles = config.dmu.instruction_issue_cycles
+        self._alloc_cycles = self.costs.tdm_task_alloc_cycles()
+        self._finish_cycles = self.costs.tdm_finish_cycles()
+        self._hw_queue_cycles = self.costs.hw_queue_cycles()
 
     @property
     def dmu(self) -> DependenceManagementUnit:
@@ -47,13 +53,13 @@ class TaskSuperscalarRuntime(RuntimeSystem):
 
     # ------------------------------------------------------------------ issue helper
     def _issue(self, thread: "SimThread", operation: Callable[[], object]) -> RuntimeGenerator:
-        yield Timeout(self.config.dmu.instruction_issue_cycles)
-        yield Timeout(self.noc.round_trip_cycles(thread.core_id))
+        yield self._issue_cycles
+        yield self.noc.round_trip_cycles(thread.core_id)
         while True:
             space_target = self.space_freed.wait_target()
-            yield Acquire(self.dmu_lock)
+            yield self._acquire_dmu_lock
             result = operation()
-            if getattr(result, "blocked", False):
+            if result.blocked:
                 self.dmu_lock.release(thread.process)
                 self.blocked_instruction_events += 1
                 previous_phase = Phase.DEPS
@@ -61,7 +67,7 @@ class TaskSuperscalarRuntime(RuntimeSystem):
                 yield WaitEvent(space_target)
                 thread.timeline.begin(previous_phase, self.engine.now)
                 continue
-            yield Timeout(result.cycles)
+            yield result.cycles
             self.dmu_lock.release(thread.process)
             return result
 
@@ -70,7 +76,7 @@ class TaskSuperscalarRuntime(RuntimeSystem):
         self, thread: "SimThread", definition: TaskDefinition, region_index: int
     ) -> RuntimeGenerator:
         instance = self.new_instance(definition, region_index)
-        yield Timeout(self.costs.tdm_task_alloc_cycles())
+        yield self._alloc_cycles
         yield from self._issue(
             thread, lambda: self._dmu.create_task(instance.descriptor_address)
         )
@@ -93,7 +99,7 @@ class TaskSuperscalarRuntime(RuntimeSystem):
     def try_get_task(self, thread: "SimThread") -> RuntimeGenerator:
         if self._dmu.ready_tasks == 0:
             return None
-        yield Timeout(self.costs.hw_queue_cycles())
+        yield self._hw_queue_cycles
         result = yield from self._issue(thread, self._dmu.get_ready_task)
         if result.is_null:
             return None
@@ -111,7 +117,7 @@ class TaskSuperscalarRuntime(RuntimeSystem):
 
     # ------------------------------------------------------------------ finalization
     def finish_task(self, thread: "SimThread", instance: TaskInstance) -> RuntimeGenerator:
-        yield Timeout(self.costs.tdm_finish_cycles())
+        yield self._finish_cycles
         result = yield from self._issue(
             thread, lambda: self._dmu.finish_task(instance.descriptor_address)
         )

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from ..core.dmu import DependenceManagementUnit
 from ..schedulers.base import ReadyEntry
-from ..sim.events import Acquire, NotificationEvent, Timeout, WaitEvent
+from ..sim.events import Acquire, NotificationEvent, WaitEvent
 from ..sim.resources import Lock
 from ..sim.timeline import Phase
 from .base import RuntimeGenerator, RuntimeSystem
@@ -44,9 +44,19 @@ class TDMRuntime(RuntimeSystem):
         super().__init__(config, scheduler, engine, noc)
         self._dmu = DependenceManagementUnit(config.dmu)
         self.dmu_lock = Lock(engine, "dmu")
+        self._acquire_dmu_lock = Acquire(self.dmu_lock)
         self.space_freed = NotificationEvent(engine, "dmu-space")
         self.blocked_instruction_events = 0
         self.blocked_cycles = 0
+        # Fixed per-operation costs hoisted out of the per-yield hot path.
+        costs = self.costs
+        self._issue_cycles = config.dmu.instruction_issue_cycles
+        self._alloc_cycles = costs.tdm_task_alloc_cycles()
+        self._finish_cycles = costs.tdm_finish_cycles()
+        self._drain_cycles = costs.tdm_drain_cycles()
+        self._push_cycles = costs.tdm_push_cycles()
+        self._pop_cycles = costs.tdm_pop_cycles()
+        self._lock_cycles = costs.lock_acquire_cycles()
 
     @property
     def dmu(self) -> DependenceManagementUnit:
@@ -61,14 +71,14 @@ class TDMRuntime(RuntimeSystem):
         Time spent stalled on a full DMU is accounted as IDLE (the core makes
         no progress and is clock gated), not as dependence-management work.
         """
-        yield Timeout(self.config.dmu.instruction_issue_cycles)
-        yield Timeout(self.noc.round_trip_cycles(thread.core_id))
+        yield self._issue_cycles
+        yield self.noc.round_trip_cycles(thread.core_id)
         first_attempt = True
         while True:
             space_target = self.space_freed.wait_target()
-            yield Acquire(self.dmu_lock)
+            yield self._acquire_dmu_lock
             result = operation()
-            if getattr(result, "blocked", False):
+            if result.blocked:
                 self.dmu_lock.release(thread.process)
                 self.blocked_instruction_events += 1
                 blocked_since = self.engine.now
@@ -78,11 +88,11 @@ class TDMRuntime(RuntimeSystem):
                 self.blocked_cycles += self.engine.now - blocked_since
                 first_attempt = False
                 continue
-            yield Timeout(result.cycles)
+            yield result.cycles
             self.dmu_lock.release(thread.process)
             if not first_attempt:
                 # The response still crosses the NoC once after a blocked wait.
-                yield Timeout(self.noc.round_trip_cycles(thread.core_id) // 2)
+                yield self.noc.round_trip_cycles(thread.core_id) // 2
             return result
 
     def _drain_ready(self, thread: "SimThread") -> RuntimeGenerator:
@@ -93,9 +103,9 @@ class TDMRuntime(RuntimeSystem):
             if result.is_null:
                 return drained
             instance = self.resolve_descriptor(result.descriptor_address)
-            yield Timeout(self.costs.tdm_drain_cycles())
-            yield Acquire(self.runtime_lock)
-            yield Timeout(self.costs.tdm_push_cycles())
+            yield self._drain_cycles
+            yield self.acquire_runtime_lock
+            yield self._push_cycles
             self.push_ready(
                 instance,
                 producer_core=thread.core_id,
@@ -109,7 +119,7 @@ class TDMRuntime(RuntimeSystem):
         self, thread: "SimThread", definition: TaskDefinition, region_index: int
     ) -> RuntimeGenerator:
         instance = self.new_instance(definition, region_index)
-        yield Timeout(self.costs.tdm_task_alloc_cycles())
+        yield self._alloc_cycles
         yield from self._issue(
             thread, lambda: self._dmu.create_task(instance.descriptor_address)
         )
@@ -133,17 +143,17 @@ class TDMRuntime(RuntimeSystem):
     def try_get_task(self, thread: "SimThread") -> RuntimeGenerator:
         if not self.pool.peek_available():
             return None
-        yield Acquire(self.runtime_lock)
-        yield Timeout(self.costs.lock_acquire_cycles())
+        yield self.acquire_runtime_lock
+        yield self._lock_cycles
         entry: Optional[ReadyEntry] = self.pool.pop(thread.core_id)
         if entry is not None:
-            yield Timeout(self.costs.tdm_pop_cycles())
+            yield self._pop_cycles
         self.runtime_lock.release(thread.process)
         return entry
 
     # ------------------------------------------------------------------ finalization
     def finish_task(self, thread: "SimThread", instance: TaskInstance) -> RuntimeGenerator:
-        yield Timeout(self.costs.tdm_finish_cycles())
+        yield self._finish_cycles
         yield from self._issue(
             thread, lambda: self._dmu.finish_task(instance.descriptor_address)
         )

@@ -16,22 +16,26 @@ Nanos++ is dominated by exactly these traversals.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..errors import ValidationError
 from .task import AccessMode, TaskInstance
 
 
-@dataclass
 class _DependenceRecord:
-    """Tracking state of one dependence address (last writer and readers)."""
+    """Tracking state of one dependence address (last writer and readers).
 
-    last_writer: Optional[TaskInstance] = None
-    readers: List[TaskInstance] = None  # type: ignore[assignment]
+    ``readers`` keeps registration order (successor edges are created in that
+    order, which determinism depends on); ``reader_set`` mirrors it for the
+    O(1) membership tests performed on every registration and retirement.
+    """
 
-    def __post_init__(self) -> None:
-        if self.readers is None:
-            self.readers = []
+    __slots__ = ("last_writer", "readers", "reader_set")
+
+    def __init__(self) -> None:
+        self.last_writer: Optional[TaskInstance] = None
+        self.readers: List[TaskInstance] = []
+        self.reader_set: Set[TaskInstance] = set()
 
     @property
     def is_empty(self) -> bool:
@@ -73,15 +77,18 @@ class DependenceTracker:
         readers_traversed = 0
         writers_matched = 0
         successor_links = 0
+        records = self._records
         for dependence in task.definition.dependences:
-            record = self._records.setdefault(dependence.address, _DependenceRecord())
+            record = records.get(dependence.address)
+            if record is None:
+                record = records[dependence.address] = _DependenceRecord()
             # RAW / WAW: depend on the last writer of the address.
             if record.last_writer is not None and record.last_writer is not task:
                 writers_matched += 1
-                if not record.last_writer.is_finished:
+                if not record.last_writer.finished:
                     record.last_writer.add_successor(task)
                     successor_links += 1
-            if dependence.mode.is_output:
+            if dependence.is_output:
                 # OUT and INOUT accesses: depend on every current reader (WAR),
                 # then become the last writer.  Mirroring the DMU interface,
                 # an INOUT access is communicated as an output and is *not*
@@ -90,17 +97,21 @@ class DependenceTracker:
                     readers_traversed += 1
                     if reader is task:
                         continue
-                    if not reader.is_finished:
+                    if not reader.finished:
                         reader.add_successor(task)
                         successor_links += 1
                 record.readers = []
+                record.reader_set = set()
                 record.last_writer = task
             else:
-                if task not in record.readers:
+                if task not in record.reader_set:
                     record.readers.append(task)
+                    record.reader_set.add(task)
         self.registered_tasks += 1
         self.total_successor_links += successor_links
-        self.max_live_dependences = max(self.max_live_dependences, len(self._records))
+        live = len(records)
+        if live > self.max_live_dependences:
+            self.max_live_dependences = live
         initially_ready = task.num_predecessors == 0
         return MatchResult(
             num_dependences=task.definition.num_dependences,
@@ -117,7 +128,7 @@ class DependenceTracker:
         (newly ready).  Also cleans this task out of the per-address records
         so the tracked state stays proportional to the in-flight window.
         """
-        if task.is_finished:
+        if task.finished:
             raise ValidationError(f"task {task.name!r} finished twice")
         newly_ready: List[TaskInstance] = []
         for successor in task.successors:
@@ -126,14 +137,15 @@ class DependenceTracker:
                 raise ValidationError(
                     f"task {successor.name!r} predecessor count went negative"
                 )
-            if successor.num_predecessors == 0 and not successor.is_finished:
+            if successor.num_predecessors == 0 and not successor.finished:
                 newly_ready.append(successor)
         for dependence in task.definition.dependences:
             record = self._records.get(dependence.address)
             if record is None:
                 continue
-            if task in record.readers:
+            if task in record.reader_set:
                 record.readers.remove(task)
+                record.reader_set.discard(task)
             if record.last_writer is task:
                 record.last_writer = None
             if record.is_empty:

@@ -17,13 +17,14 @@ discovered the task).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
 from typing import Any, Optional
 
 
-@dataclass(frozen=True)
 class ReadyEntry:
     """One ready task as seen by the software scheduler.
+
+    One entry is allocated per ready-pool push (an inner loop of every
+    simulation), hence a ``__slots__`` class rather than a dataclass.
 
     Attributes:
         task: opaque handle to the runtime's task object (returned on pop).
@@ -36,11 +37,28 @@ class ReadyEntry:
             predecessor or drained it from the DMU), or ``None`` when unknown.
     """
 
-    task: Any
-    creation_seq: int
-    ready_seq: int
-    successor_count: int = 0
-    producer_core: Optional[int] = None
+    __slots__ = ("task", "creation_seq", "ready_seq", "successor_count", "producer_core")
+
+    def __init__(
+        self,
+        task: Any,
+        creation_seq: int,
+        ready_seq: int,
+        successor_count: int = 0,
+        producer_core: Optional[int] = None,
+    ) -> None:
+        self.task = task
+        self.creation_seq = creation_seq
+        self.ready_seq = ready_seq
+        self.successor_count = successor_count
+        self.producer_core = producer_core
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReadyEntry(task={self.task!r}, creation_seq={self.creation_seq}, "
+            f"ready_seq={self.ready_seq}, successor_count={self.successor_count}, "
+            f"producer_core={self.producer_core})"
+        )
 
 
 class Scheduler(abc.ABC):

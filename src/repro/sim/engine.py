@@ -2,7 +2,27 @@
 
 The kernel is deliberately minimal (in the spirit of SimPy, but specialized
 for this project): an event queue ordered by time, and processes implemented
-as generators that yield :class:`~repro.sim.events.Command` objects.
+as generators that yield commands.  A command is either a bare non-negative
+``int`` (the timeout fast path: suspend for that many cycles) or one of the
+:class:`~repro.sim.events.Command` objects (``Timeout``, ``WaitEvent``,
+``Acquire``).
+
+Hot-path design (this is the innermost loop of every simulation, executed
+once per event, so it avoids every avoidable allocation and call):
+
+* Heap entries are plain ``(time, seq, process, value)`` tuples resumed
+  directly by the run loop — no per-event closure is allocated.  Entries
+  with ``process=None`` carry a zero-argument callback in ``value`` (the
+  public :meth:`Engine.schedule` API).
+* Zero-delay wakeups (event triggers, lock grants, process starts) never
+  touch the heap: they are appended to a FIFO *ready deque* as
+  ``(seq, process, value)`` and merged with the heap by global sequence
+  number, so the observable event order is identical to a single global
+  queue — two runs of the same configuration stay bit-identical, and so
+  does a run against the pre-deque kernel.
+* Command dispatch in :meth:`Process.resume` is keyed on the exact command
+  type (``type(command) is ...``) with the bare-int timeout checked first;
+  the ``isinstance`` chain survives only in the cold error/subclass path.
 
 Determinism: events scheduled at the same time are processed in scheduling
 order (a monotonically increasing sequence number breaks ties), so two runs
@@ -11,15 +31,15 @@ of the same configuration produce bit-identical results.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
-from typing import Any, Callable, Generator, Iterable
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator, List, Optional
 
 from ..errors import DeadlockError, SimulationError
-from .events import Acquire, Command, SimEvent, Timeout, WaitEvent
+from .events import Acquire, SimEvent, Timeout, WaitEvent
 
-ProcessBody = Generator[Command, Any, Any]
+ProcessBody = Generator[Any, Any, Any]
 
 
 class Process:
@@ -31,7 +51,7 @@ class Process:
     for timeouts and lock acquisitions).
     """
 
-    __slots__ = ("engine", "name", "generator", "finished", "result", "completion", "_waiting")
+    __slots__ = ("engine", "name", "generator", "finished", "result", "completion", "_send")
 
     def __init__(self, engine: "Engine", generator: ProcessBody, name: str = "process") -> None:
         self.engine = engine
@@ -40,19 +60,20 @@ class Process:
         self.finished = False
         self.result: Any = None
         self.completion = SimEvent(engine, f"{name}.completion")
-        self._waiting = False
+        # Bound ``generator.send`` cached once: resume() is called once per
+        # event and the two-step attribute lookup is measurable at that rate.
+        self._send = generator.send
 
     def start(self) -> None:
-        """Schedule the first step of the process at the current time."""
-        self.engine.schedule(0, lambda: self.resume(None))
+        """Queue the first step of the process at the current time."""
+        self.engine._wake(self, None)
 
     def resume(self, value: Any) -> None:
         """Advance the generator with ``value`` and interpret its next command."""
         if self.finished:
             return
-        self._waiting = False
         try:
-            command = self.generator.send(value)
+            command = self._send(value)
         except StopIteration as stop:
             self.finished = True
             self.result = stop.value
@@ -63,42 +84,114 @@ class Process:
             self.finished = True
             self.engine._process_finished(self)
             raise SimulationError(f"process {self.name!r} raised {exc!r}") from exc
-        self._dispatch(command)
 
-    def _dispatch(self, command: Command) -> None:
-        self._waiting = True
+        # Command dispatch, keyed on the exact type.  Bare ints are the
+        # timeout fast path the runtime models use for every busy-cycle
+        # charge; Timeout objects remain supported (their cycle count is
+        # validated at construction).
+        cls = command.__class__
+        if cls is int:
+            if command > 0:
+                engine = self.engine
+                seq = engine._seq
+                engine._seq = seq + 1
+                heappush(engine._queue, (engine.now + command, seq, self, None))
+            elif command == 0:
+                self.engine._wake(self, None)
+            else:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative timeout: {command}"
+                )
+        elif cls is Timeout:
+            cycles = command.cycles
+            if cycles:
+                engine = self.engine
+                seq = engine._seq
+                engine._seq = seq + 1
+                heappush(engine._queue, (engine.now + cycles, seq, self, None))
+            else:
+                self.engine._wake(self, None)
+        elif cls is WaitEvent:
+            # add_waiter, inlined (one call per event wait).
+            event = command.event
+            if event.triggered:
+                self.engine._wake(self, event.value)
+            else:
+                event._waiters.append(self)
+        elif cls is Acquire:
+            command.lock._enqueue(self)
+        else:
+            self._dispatch_other(command)
+
+    def _dispatch_other(self, command: Any) -> None:
+        """Cold path: command subclasses and invalid yields."""
         if isinstance(command, Timeout):
-            self.engine.schedule(command.cycles, lambda: self.resume(None))
+            cycles = command.cycles
         elif isinstance(command, WaitEvent):
             command.event.add_waiter(self)
+            return
         elif isinstance(command, Acquire):
             command.lock._enqueue(self)
+            return
+        elif isinstance(command, int) and not isinstance(command, bool):
+            if command < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded a negative timeout: {command}"
+                )
+            cycles = command
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded an unknown command: {command!r}"
             )
+        engine = self.engine
+        if cycles:
+            heappush(engine._queue, (engine.now + cycles, engine._next_seq(), self, None))
+        else:
+            engine._wake(self, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "finished" if self.finished else ("waiting" if self._waiting else "ready")
+        state = "finished" if self.finished else "active"
         return f"Process({self.name!r}, {state})"
 
 
 class Engine:
-    """Discrete-event engine: clock, event queue and process registry."""
+    """Discrete-event engine: clock, event queues and process registry."""
+
+    __slots__ = ("now", "_queue", "_ready", "_seq", "_processes", "_live_processes")
 
     def __init__(self) -> None:
-        self._now = 0
-        self._queue: list[tuple[int, int, Callable[[], None]]] = []
-        self._sequence = itertools.count()
-        self._processes: list[Process] = []
+        #: Current simulation time in cycles (read-only for client code; the
+        #: run loop is the only writer).  A plain attribute, not a property:
+        #: it is read several times per event by the thread and runtime
+        #: models and the descriptor call was measurable.
+        self.now = 0
+        #: Timed events: (time, seq, process, value) or (time, seq, None, callback).
+        self._queue: list = []
+        #: Zero-delay wakeups at the current time: (seq, process, value).
+        self._ready: deque = deque()
+        self._seq = 0
+        self._processes: List[Process] = []
         self._live_processes = 0
 
-    @property
-    def now(self) -> int:
-        """Current simulation time in cycles."""
-        return self._now
+    # ------------------------------------------------------------------ queues
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
 
-    def schedule(self, delay: int | float, callback: Callable[[], None]) -> None:
+    def _wake(self, process: Process, value: Any = None) -> None:
+        """Resume ``process`` with ``value`` at the current time (FIFO order).
+
+        This is the zero-delay fast path used by event triggers, lock grants
+        and process starts; it bypasses the heap entirely while preserving
+        the global scheduling order (the shared sequence counter is the tie
+        breaker the run loop merges on).
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        self._ready.append((seq, process, value))
+
+    def schedule(self, delay: "int | float", callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` cycles from now.
 
         Fractional delays (cost models may produce floats) are rounded
@@ -109,7 +202,9 @@ class Engine:
         cycles = delay if isinstance(delay, int) else math.floor(delay + 0.5)
         if cycles < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + cycles, next(self._sequence), callback))
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (self.now + cycles, seq, None, callback))
 
     def event(self, name: str = "event") -> SimEvent:
         """Create a new one-shot event bound to this engine."""
@@ -126,38 +221,86 @@ class Engine:
     def _process_finished(self, process: Process) -> None:
         self._live_processes -= 1
 
+    # ------------------------------------------------------------------ registry
     @property
-    def processes(self) -> Iterable[Process]:
-        """All processes ever registered with the engine."""
-        return tuple(self._processes)
+    def processes(self) -> List[Process]:
+        """All processes ever registered with the engine.
 
-    def run(self, until: int | None = None) -> int:
-        """Run until the event queue drains (or until ``until`` cycles).
+        Returns the live internal list (treat it as read-only); monitoring
+        code polling this property no longer pays an O(n) tuple copy per
+        access.  For progress accounting use :attr:`live_process_count` /
+        :attr:`finished_process_count`, which are O(1).
+        """
+        return self._processes
+
+    @property
+    def live_process_count(self) -> int:
+        """Number of registered processes that have not finished."""
+        return self._live_processes
+
+    @property
+    def finished_process_count(self) -> int:
+        """Number of registered processes that have run to completion."""
+        return len(self._processes) - self._live_processes
+
+    # ------------------------------------------------------------------ run loop
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the event queues drain (or until ``until`` cycles).
 
         Returns the final simulation time.  Raises :class:`DeadlockError` if
-        the queue drains while registered processes are still unfinished,
+        the queues drain while registered processes are still unfinished,
         which indicates a lost wake-up or a dependence cycle in the workload.
+        Calling ``run`` again after an ``until``-bounded return resumes the
+        simulation exactly where it stopped.
         """
-        while self._queue:
-            time, _seq, callback = heapq.heappop(self._queue)
+        queue = self._queue
+        ready = self._ready
+        popleft = ready.popleft
+        now = self.now
+        while True:
+            if ready:
+                # Ready entries fire at the current time; a heap event at the
+                # same time with a smaller sequence number was scheduled
+                # earlier and must run first.
+                if queue:
+                    head = queue[0]
+                    if head[0] == now and head[1] < ready[0][0]:
+                        entry = heappop(queue)
+                        target = entry[2]
+                        if target is None:
+                            entry[3]()
+                        else:
+                            target.resume(entry[3])
+                        continue
+                _seq, process, value = popleft()
+                process.resume(value)
+                continue
+            if not queue:
+                break
+            entry = heappop(queue)
+            time = entry[0]
             if until is not None and time > until:
-                heapq.heappush(self._queue, (time, _seq, callback))
-                self._now = until
-                return self._now
-            self._now = time
-            callback()
+                heappush(queue, entry)
+                self.now = until
+                return until
+            self.now = now = time
+            target = entry[2]
+            if target is None:
+                entry[3]()
+            else:
+                target.resume(entry[3])
         if self._live_processes > 0:
             blocked = [p.name for p in self._processes if not p.finished]
             raise DeadlockError(
                 "simulation deadlocked: no pending events but "
                 f"{self._live_processes} processes still blocked: {blocked[:8]}"
             )
-        return self._now
+        return self.now
 
-    def run_all(self, max_cycles: int | None = None) -> int:
+    def run_all(self, max_cycles: Optional[int] = None) -> int:
         """Run to completion, optionally enforcing a cycle budget."""
         final = self.run(until=max_cycles)
-        if max_cycles is not None and self._queue:
+        if max_cycles is not None and (self._queue or self._ready):
             raise SimulationError(
                 f"simulation exceeded the cycle budget of {max_cycles} cycles"
             )

@@ -100,7 +100,7 @@ class SimEvent:
     def add_waiter(self, process: "Process") -> None:
         """Register a process to be resumed on trigger (engine internal)."""
         if self.triggered:
-            self.engine.schedule(0, lambda: process.resume(self.value))
+            self.engine._wake(process, self.value)
         else:
             self._waiters.append(process)
 
@@ -112,15 +112,26 @@ class SimEvent:
             self._callbacks.append(callback)
 
     def trigger(self, value: Any = None) -> None:
-        """Fire the event, resuming every waiter at the current time."""
+        """Fire the event, resuming every waiter at the current time.
+
+        Waiters are queued on the engine's zero-delay ready deque (in
+        registration order) rather than the time heap, so triggering never
+        allocates closures or pays a heap reorder.
+        """
         if self.triggered:
             return
         self.triggered = True
         self.value = value
         waiters, self._waiters = self._waiters, []
         callbacks, self._callbacks = self._callbacks, []
-        for process in waiters:
-            self.engine.schedule(0, lambda p=process: p.resume(value))
+        if waiters:
+            engine = self.engine
+            ready_append = engine._ready.append
+            seq = engine._seq
+            for process in waiters:
+                ready_append((seq, process, value))
+                seq += 1
+            engine._seq = seq
         for callback in callbacks:
             callback(value)
 
@@ -133,10 +144,19 @@ class NotificationEvent:
     """A re-arming notification channel built on top of :class:`SimEvent`.
 
     Waiters obtain the current :class:`SimEvent` via :meth:`wait_target`; a
-    call to :meth:`notify_all` triggers the current event and installs a
-    fresh one.  This models "space was freed in a hardware structure" and
-    "a task was pushed to the ready pool" notifications, where the condition
-    must be re-checked after every wake-up.
+    call to :meth:`notify_all` triggers the current event, and the next
+    :meth:`wait_target` call re-arms the channel.  This models "space was
+    freed in a hardware structure" and "a task was pushed to the ready pool"
+    notifications, where the condition must be re-checked after every
+    wake-up.
+
+    The replacement event is allocated *lazily* by :meth:`wait_target`, not
+    eagerly by :meth:`notify_all`: runtimes notify on every ready-pool push
+    and task finish, and with busy workers (nobody re-waiting between
+    notifications) the eager re-arm allocated a fresh :class:`SimEvent` per
+    notification that nothing ever looked at.  The observable protocol is
+    unchanged — a target captured before a notification is triggered by it,
+    and waiting on a triggered target resumes immediately.
     """
 
     __slots__ = ("engine", "name", "_current")
@@ -144,13 +164,18 @@ class NotificationEvent:
     def __init__(self, engine: "Engine", name: str = "notify") -> None:
         self.engine = engine
         self.name = name
-        self._current = SimEvent(engine, name)
+        self._current: "SimEvent | None" = None
 
     def wait_target(self) -> SimEvent:
         """The event a process should wait on for the *next* notification."""
-        return self._current
+        current = self._current
+        if current is None or current.triggered:
+            current = SimEvent(self.engine, self.name)
+            self._current = current
+        return current
 
     def notify_all(self, value: Any = None) -> None:
-        """Wake every process currently waiting and re-arm the channel."""
-        event, self._current = self._current, SimEvent(self.engine, self.name)
-        event.trigger(value)
+        """Wake every process currently waiting; the channel re-arms on demand."""
+        event = self._current
+        if event is not None and not event.triggered:
+            event.trigger(value)

@@ -23,6 +23,16 @@ class NocModel:
     router_cycles: int = 1
     base_cycles: int = 10
 
+    def __post_init__(self) -> None:
+        # Round trips are pure functions of the core position; the table is
+        # precomputed because the runtimes charge a round trip on every ISA
+        # instruction (object.__setattr__ is the frozen-dataclass idiom).
+        object.__setattr__(
+            self,
+            "_round_trip_table",
+            tuple(self._compute_round_trip(core) for core in range(self.num_cores)),
+        )
+
     def mesh_side(self) -> int:
         """Side of the smallest square mesh that fits all cores (plus the DMU)."""
         return max(1, math.ceil(math.sqrt(self.num_cores + 1)))
@@ -36,11 +46,16 @@ class NocModel:
         cx, cy = side // 2, side // 2
         return abs(x - cx) + abs(y - cy)
 
-    def round_trip_cycles(self, core_id: int) -> int:
-        """Round-trip latency in cycles for a request/response pair."""
+    def _compute_round_trip(self, core_id: int) -> int:
         hops = self.hops_to_dmu(core_id)
         one_way = self.base_cycles // 2 + hops * (self.cycles_per_hop + self.router_cycles)
         return 2 * one_way
+
+    def round_trip_cycles(self, core_id: int) -> int:
+        """Round-trip latency in cycles for a request/response pair."""
+        if 0 <= core_id < self.num_cores:
+            return self._round_trip_table[core_id]
+        raise ValueError(f"core_id {core_id} out of range [0, {self.num_cores})")
 
     def average_round_trip_cycles(self) -> float:
         """Mean round-trip latency over all cores (used by analytical models)."""

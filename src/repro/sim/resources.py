@@ -24,6 +24,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class Lock:
     """FIFO mutual exclusion lock with contention statistics."""
 
+    __slots__ = ("engine", "name", "_holder", "_waiters", "_acquired_at",
+                 "acquisitions", "total_wait_cycles", "total_hold_cycles",
+                 "max_queue_length")
+
     def __init__(self, engine: "Engine", name: str = "lock") -> None:
         self.engine = engine
         self.name = name
@@ -49,17 +53,25 @@ class Lock:
     def _enqueue(self, process: "Process") -> None:
         """Called by the engine when a process yields ``Acquire(self)``."""
         if self._holder is None:
-            self._grant(process, waited=0)
+            # Uncontended grant, inlined (the overwhelmingly common case).
+            engine = self.engine
+            self._holder = process
+            self._acquired_at = engine.now
+            self.acquisitions += 1
+            engine._wake(process, None)
         else:
-            self._waiters.append((process, self.engine.now))
-            self.max_queue_length = max(self.max_queue_length, len(self._waiters))
+            waiters = self._waiters
+            waiters.append((process, self.engine.now))
+            if len(waiters) > self.max_queue_length:
+                self.max_queue_length = len(waiters)
 
     def _grant(self, process: "Process", waited: int) -> None:
+        engine = self.engine
         self._holder = process
-        self._acquired_at = self.engine.now
+        self._acquired_at = engine.now
         self.acquisitions += 1
         self.total_wait_cycles += waited
-        self.engine.schedule(0, lambda: process.resume(None))
+        engine._wake(process, None)
 
     def release(self, process: "Process") -> None:
         """Release the lock; must be called by the current holder."""
@@ -68,11 +80,12 @@ class Lock:
             raise SimulationError(
                 f"lock {self.name!r} released by {process.name!r} but held by {holder!r}"
             )
-        self.total_hold_cycles += self.engine.now - self._acquired_at
+        now = self.engine.now
+        self.total_hold_cycles += now - self._acquired_at
         self._holder = None
         if self._waiters:
             waiter, enqueued_at = self._waiters.popleft()
-            self._grant(waiter, waited=self.engine.now - enqueued_at)
+            self._grant(waiter, waited=now - enqueued_at)
 
     def average_wait_cycles(self) -> float:
         """Mean cycles a holder waited before acquiring (0 when uncontended)."""

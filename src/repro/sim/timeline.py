@@ -48,9 +48,20 @@ class Interval:
 
 
 class ThreadTimeline:
-    """Intervals recorded for a single thread."""
+    """Phase accounting for a single thread.
 
-    def __init__(self, thread_id: int, record_intervals: bool = True) -> None:
+    The default is *totals-only*: :meth:`begin`/:meth:`end` accumulate per-
+    phase cycle counts and no :class:`Interval` objects are materialized
+    (nothing downstream of a finished experiment consumes them, and
+    :meth:`Timeline.to_dict` never serialized them).  Pass
+    ``record_intervals=True`` (wired to ``SimulationConfig.record_timeline``)
+    to additionally keep the interval trace for visualization workloads.
+    """
+
+    __slots__ = ("thread_id", "record_intervals", "intervals", "totals",
+                 "_current_phase", "_current_start")
+
+    def __init__(self, thread_id: int, record_intervals: bool = False) -> None:
         self.thread_id = thread_id
         self.record_intervals = record_intervals
         self.intervals: List[Interval] = []
@@ -59,22 +70,37 @@ class ThreadTimeline:
         self._current_start = 0
 
     def begin(self, phase: Phase, now: int) -> None:
-        """Enter ``phase`` at time ``now``, closing any open phase."""
-        if self._current_phase is not None:
-            self.end(now)
+        """Enter ``phase`` at time ``now``, closing any open phase.
+
+        Re-entering the phase that is already open is a no-op: the open span
+        simply continues, so adjacent same-phase intervals are merged instead
+        of churning bookkeeping (totals are unaffected either way).
+        """
+        current = self._current_phase
+        if current is phase:
+            return
+        if current is not None:
+            duration = now - self._current_start
+            if duration:
+                if duration < 0:
+                    raise ValueError("timeline interval ends before it starts")
+                self.totals[current] += duration
+                if self.record_intervals:
+                    self.intervals.append(Interval(current, self._current_start, now))
         self._current_phase = phase
         self._current_start = now
 
     def end(self, now: int) -> None:
         """Close the currently open phase at time ``now``."""
-        if self._current_phase is None:
+        current = self._current_phase
+        if current is None:
             return
         duration = now - self._current_start
         if duration < 0:
             raise ValueError("timeline interval ends before it starts")
-        self.totals[self._current_phase] += duration
+        self.totals[current] += duration
         if self.record_intervals and duration > 0:
-            self.intervals.append(Interval(self._current_phase, self._current_start, now))
+            self.intervals.append(Interval(current, self._current_start, now))
         self._current_phase = None
 
     def add(self, phase: Phase, start: int, end: int) -> None:
@@ -100,7 +126,7 @@ class ThreadTimeline:
 class TimelineRecorder:
     """Creates and owns one :class:`ThreadTimeline` per thread."""
 
-    def __init__(self, num_threads: int, record_intervals: bool = True) -> None:
+    def __init__(self, num_threads: int, record_intervals: bool = False) -> None:
         self.threads = [ThreadTimeline(i, record_intervals) for i in range(num_threads)]
 
     def thread(self, thread_id: int) -> ThreadTimeline:

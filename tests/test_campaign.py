@@ -221,3 +221,68 @@ class TestParallelEquivalence:
         second = SimulationRunner(scale=SCALE, jobs=2, cache_dir=cache_dir)
         run_experiment("figure_10", runner=second, scale=SCALE, benchmarks=["blackscholes"])
         assert second.cache_info()["simulations_run"] == 0
+
+
+class TestCachePruning:
+    """``ResultCache.prune`` / ``--cache-max-bytes``: oldest-mtime eviction."""
+
+    def _populate(self, tmp_path, count=4):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path / "cache")
+        paths = []
+        for index in range(count):
+            key = f"{index:02x}" + "ab" * 31
+            path = cache.put_serialized(key, {"payload": "x" * 100, "index": index})
+            # Distinct, strictly increasing mtimes so eviction order is exact.
+            stamp = time.time() - (count - index) * 100
+            os.utime(path, (stamp, stamp))
+            paths.append(path)
+        return cache, paths
+
+    def test_prune_evicts_oldest_mtime_first(self, tmp_path):
+        cache, paths = self._populate(tmp_path)
+        entry_size = paths[0].stat().st_size
+        total = cache.total_bytes()
+        evicted = cache.prune(total - entry_size)  # force out exactly one
+        assert evicted == 1
+        assert not paths[0].exists()  # the oldest went first
+        assert all(path.exists() for path in paths[1:])
+
+    def test_prune_noop_under_budget(self, tmp_path):
+        cache, paths = self._populate(tmp_path)
+        assert cache.prune(cache.total_bytes()) == 0
+        assert all(path.exists() for path in paths)
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache, paths = self._populate(tmp_path)
+        assert cache.prune(0) == len(paths)
+        assert cache.total_bytes() == 0
+        assert len(cache) == 0
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        cache, _paths = self._populate(tmp_path, count=1)
+        with pytest.raises(ValueError):
+            cache.prune(-1)
+
+    def test_engine_enforces_budget_after_batches(self, tmp_path):
+        engine = CampaignEngine(
+            scale=SCALE, cache_dir=tmp_path / "cache", cache_max_bytes=0
+        )
+        engine.run_many([RunRequest("blackscholes", "software")])
+        # A zero budget keeps the disk cache empty (everything evicted), and
+        # the eviction is reported in the counters.
+        assert engine.disk_cache.total_bytes() == 0
+        assert engine.cache_info()["cache_evictions"] >= 1
+
+    def test_engine_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            CampaignEngine(scale=SCALE, cache_dir=tmp_path / "c", cache_max_bytes=-5)
+
+    def test_cli_requires_cache_dir_for_budget(self, capsys):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["figure_02", "--cache-max-bytes", "1000"])
+        assert "--cache-max-bytes requires --cache-dir" in capsys.readouterr().err
