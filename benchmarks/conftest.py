@@ -22,6 +22,14 @@ Two environment variables control the cost of the campaign:
 ``REPRO_BENCH_CACHE_DIR``
     Directory for the persistent result cache.  A second benchmark session
     pointed at the same directory simulates nothing.
+
+``REPRO_BENCH_SHARDS``
+    ``i/N`` turns the session into a distributed cache warmer: every
+    simulating harness runs only its deterministic shard of the sweep into
+    ``REPRO_BENCH_CACHE_DIR`` (required), writes a shard manifest, and the
+    row assertions are skipped.  Run shard sessions on N hosts against a
+    shared (or later-merged) cache directory, then one plain session renders
+    every figure from pure cache hits and asserts as usual.
 """
 
 from __future__ import annotations
@@ -32,7 +40,8 @@ from typing import Optional, Sequence
 import pytest
 
 from repro.experiments.common import SimulationRunner
-from repro.experiments.registry import run_experiment
+from repro.experiments.registry import plan_function, run_experiment
+from repro.experiments.shard import ShardSpec, run_shard_worker
 
 DEFAULT_SCALE = 0.25
 
@@ -56,6 +65,11 @@ def bench_cache_dir() -> Optional[str]:
     return os.environ.get("REPRO_BENCH_CACHE_DIR") or None
 
 
+def bench_shard() -> Optional[ShardSpec]:
+    raw = os.environ.get("REPRO_BENCH_SHARDS")
+    return ShardSpec.parse(raw) if raw else None
+
+
 @pytest.fixture(scope="session")
 def shared_runner() -> SimulationRunner:
     """One memoizing runner shared by every harness in the session."""
@@ -71,6 +85,27 @@ def reproduce(benchmark, shared_runner):
     def _run(experiment: str, default_benchmarks: Optional[Sequence[str]] = None, **kwargs):
         names = bench_benchmarks(default_benchmarks)
         scale = kwargs.pop("scale", shared_runner.scale)
+
+        shard = bench_shard()
+        if shard is not None and plan_function(experiment) is not None:
+            if bench_cache_dir() is None:
+                pytest.fail("REPRO_BENCH_SHARDS requires REPRO_BENCH_CACHE_DIR")
+
+            def _warm():
+                return run_shard_worker(
+                    experiment, shard, shared_runner, benchmarks=names, **kwargs
+                )
+
+            manifest = benchmark.pedantic(_warm, rounds=1, iterations=1)
+            benchmark.extra_info["experiment"] = experiment
+            benchmark.extra_info["shard"] = str(shard)
+            benchmark.extra_info["manifest"] = manifest.to_dict()
+            assert not manifest.failures, f"shard failures: {sorted(manifest.failures)}"
+            pytest.skip(
+                f"shard-warm mode {shard}: {experiment} warmed "
+                f"{manifest.attempted} keys ({manifest.simulated} simulated); "
+                "row assertions run in the merged render session"
+            )
 
         def _call():
             return run_experiment(

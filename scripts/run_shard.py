@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Multi-host campaign orchestration: run one shard, or merge shard caches.
+
+The campaign key space is content-addressed, so distributing a figure sweep
+across hosts is three commands (see also ``tdm-repro --shard/--merge-shards``,
+which exposes the same machinery on the installed CLI)::
+
+    # on each host i of N (shared filesystem: point all at one --cache-dir)
+    python scripts/run_shard.py worker figure_12 --shard i/N \\
+        --scale 0.2 --jobs 8 --cache-dir shards/i
+
+    # anywhere, after collecting the shard directories
+    python scripts/run_shard.py merge figure_12 --sources shards/* \\
+        --scale 0.2 --cache-dir merged --output results --csv
+
+Each worker writes a manifest (keys attempted, cache hits, simulations,
+failures with their canonical keys and workload parameters, wall time) under
+``<cache-dir>/manifests/``.  The merge step unions caches and manifests,
+refuses to render unless every planned key is present (``--allow-incomplete``
+overrides, simulating the gaps locally), and then renders output that is
+byte-identical to a serial ``tdm-repro`` run: a dead shard is repaired by
+simply rerunning it — surviving cache entries are pure warm-up hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.errors import ExperimentError
+from repro.experiments.common import SimulationRunner
+from repro.experiments.registry import run_experiment
+from repro.experiments.shard import ShardSpec, merge_shards, run_shard_worker
+
+
+def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("experiment", help="experiment name (e.g. figure_12)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="problem scale in (0, 1]; must match across shards")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed; must match across shards")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="benchmark subset; must match across shards")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes on this host")
+    parser.add_argument("--cache-dir", type=pathlib.Path, required=True,
+                        help="result cache directory (shared or per-shard)")
+    parser.add_argument("--verbose", action="store_true")
+
+
+def build_runner(args: argparse.Namespace) -> SimulationRunner:
+    return SimulationRunner(scale=args.scale, seed=args.seed, jobs=args.jobs,
+                            cache_dir=args.cache_dir, verbose=args.verbose)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    worker = commands.add_parser("worker", help="simulate one shard of a sweep")
+    add_runner_arguments(worker)
+    worker.add_argument("--shard", metavar="I/N", required=True,
+                        help="this host's shard (1-based), e.g. 2/3")
+    worker.add_argument("--manifest", type=pathlib.Path, default=None,
+                        help="manifest path (default: <cache-dir>/manifests/...)")
+
+    merge = commands.add_parser("merge", help="union shard caches, verify, render")
+    add_runner_arguments(merge)
+    merge.add_argument("--sources", metavar="DIR", nargs="+", type=pathlib.Path,
+                       required=True, help="shard cache directories to union")
+    merge.add_argument("--output", type=pathlib.Path, default=None,
+                       help="directory for Markdown/CSV output (default: stdout)")
+    merge.add_argument("--csv", action="store_true", help="also write CSV with --output")
+    merge.add_argument("--allow-incomplete", action="store_true",
+                       help="render even if planned keys are missing")
+
+    args = parser.parse_args()
+    runner = build_runner(args)
+
+    try:
+        if args.command == "worker":
+            manifest = run_shard_worker(args.experiment, ShardSpec.parse(args.shard),
+                                        runner, benchmarks=args.benchmarks,
+                                        manifest=args.manifest)
+            return manifest.report()
+
+        report = merge_shards(args.experiment, args.sources, runner,
+                              benchmarks=args.benchmarks)
+        print(report.summary())
+        if not args.allow_incomplete:
+            report.verify()
+        result = run_experiment(args.experiment, scale=args.scale,
+                                benchmarks=args.benchmarks, runner=runner)
+        rendered = runner.cache_info()["simulations_run"]
+        if rendered:
+            print(f"[merge] note: {rendered} points simulated locally during render")
+        if args.output is None:
+            print(result.to_markdown())
+        else:
+            args.output.mkdir(parents=True, exist_ok=True)
+            markdown = args.output / f"{result.experiment}.md"
+            markdown.write_text(result.to_markdown(), encoding="utf-8")
+            if args.csv:
+                (args.output / f"{result.experiment}.csv").write_text(
+                    result.to_csv(), encoding="utf-8")
+            print(f"wrote {markdown}")
+        return 0
+    except ExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,7 @@ import hashlib
 import json
 import os
 import pathlib
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from ..config import SimulationConfig
 from ..sim.machine import SimulationResult
@@ -37,6 +37,23 @@ from ..sim.machine import SimulationResult
 #: Bumped whenever the serialized result layout changes incompatibly; stale
 #: entries are treated as misses and resimulated rather than misread.
 CACHE_FORMAT_VERSION = 1
+
+
+def atomic_write(path: pathlib.Path, data: Union[str, bytes]) -> None:
+    """Write ``data`` to ``path`` via tmp+rename, creating parent directories.
+
+    The single publication primitive for cache entries, merged shard copies
+    and shard manifests: a concurrent reader sees either the old file or the
+    complete new one, never a torn write (the tmp name embeds the pid so
+    concurrent writers of one key cannot collide either).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    if isinstance(data, bytes):
+        tmp.write_bytes(data)
+    else:
+        tmp.write_text(data, encoding="utf-8")
+    os.replace(tmp, path)
 
 
 def canonical_run_key(
@@ -80,6 +97,12 @@ class ResultCache:
         """Cache file for ``key`` (two-level fan-out keeps directories small)."""
         return self.directory / key[:2] / f"{key}.json"
 
+    def _entries(self):
+        """Every cache entry file.  The ``??/`` prefix pins the two-hex-char
+        fan-out layout, so sibling directories (``manifests/`` written by
+        shard workers) are never counted, pruned, merged or cleared."""
+        return self.directory.glob("??/*.json")
+
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).is_file()
 
@@ -99,6 +122,13 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            # Refresh the mtime so :meth:`prune` is least-recently-*used*
+            # eviction: a key the current campaign just read back cannot be
+            # the next one evicted mid-run.
+            os.utime(path)
+        except OSError:  # entry vanished under a concurrent prune — still a hit
+            pass
         return result
 
     def put(self, key: str, result: SimulationResult) -> pathlib.Path:
@@ -108,20 +138,45 @@ class ResultCache:
     def put_serialized(self, key: str, result_dict: Dict[str, object]) -> pathlib.Path:
         """Persist an already-serialized result (the parallel-merge path)."""
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         document = {"version": CACHE_FORMAT_VERSION, "key": key, "result": result_dict}
-        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
-        os.replace(tmp, path)
+        atomic_write(path, json.dumps(document, sort_keys=True))
         return path
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*/*.json"))
+        return sum(1 for _ in self._entries())
+
+    def keys(self) -> List[str]:
+        """Every cached key, sorted (the canonical enumeration order)."""
+        return sorted(entry.stem for entry in self._entries())
+
+    def merge_from(self, source: "ResultCache") -> int:
+        """Union another cache directory into this one; returns copies made.
+
+        Keys are content hashes of the full run configuration and results
+        are deterministic, so two caches can only ever disagree on a key by
+        holding byte-identical documents — entries already present locally
+        are therefore skipped, and copies preserve the source bytes exactly
+        (atomic tmp+rename, like :meth:`put_serialized`).  This is the merge
+        point of multi-host campaigns: union every shard's cache, then
+        render from the union.
+        """
+        copied = 0
+        for entry in sorted(source._entries()):
+            destination = self.path_for(entry.stem)
+            if destination.is_file():
+                continue
+            try:
+                blob = entry.read_bytes()
+            except OSError:  # vanished mid-merge (concurrent prune)
+                continue
+            atomic_write(destination, blob)
+            copied += 1
+        return copied
 
     def total_bytes(self) -> int:
         """Total on-disk size of all cached entries."""
         total = 0
-        for entry in self.directory.glob("*/*.json"):
+        for entry in self._entries():
             try:
                 total += entry.stat().st_size
             except OSError:  # entry vanished (concurrent prune/clear)
@@ -132,26 +187,29 @@ class ResultCache:
         """Evict oldest entries (by mtime) until the cache fits ``max_bytes``.
 
         Returns the number of entries deleted.  Eviction order is
-        oldest-modification-first, so long-lived cache directories shed the
-        results that have gone longest without being rewritten; a concurrent
-        writer refreshing an entry's mtime protects it.  Entries that vanish
-        mid-scan (another process pruning the same directory) are skipped.
+        oldest-modification-first — and since :meth:`get` refreshes the mtime
+        of every hit, effectively least-recently-used — so long-lived cache
+        directories shed the results that have gone longest without being
+        read or rewritten.  mtime ties (common on coarse-timestamp
+        filesystems and just-merged shard caches) are broken by key, so the
+        eviction order is deterministic.  Entries that vanish mid-scan
+        (another process pruning the same directory) are skipped.
         """
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         entries = []
         total = 0
-        for path in self.directory.glob("*/*.json"):
+        for path in self._entries():
             try:
                 stat = path.stat()
             except OSError:
                 continue
-            entries.append((stat.st_mtime, path, stat.st_size))
+            entries.append((stat.st_mtime, path.name, path, stat.st_size))
             total += stat.st_size
         if total <= max_bytes:
             return 0
         evicted = 0
-        for _mtime, path, size in sorted(entries):
+        for _mtime, _name, path, size in sorted(entries):
             if total <= max_bytes:
                 break
             try:
@@ -164,5 +222,5 @@ class ResultCache:
 
     def clear(self) -> None:
         """Delete every cached entry (keeps the directory itself)."""
-        for entry in self.directory.glob("*/*.json"):
+        for entry in self._entries():
             entry.unlink()

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pathlib
+import traceback
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -37,6 +38,57 @@ from .cache import ResultCache, canonical_run_key
 
 #: Runtimes whose optimal-granularity default follows the TDM optimum.
 _TDM_GRANULARITY_RUNTIMES = ("tdm", "task_superscalar")
+
+#: Sentinel field marking a worker return value as a captured failure rather
+#: than a serialized result (no SimulationResult dict ever contains it).
+_ERROR_MARKER = "__campaign_error__"
+
+
+class CampaignRunError(ExperimentError):
+    """A simulation inside a campaign batch failed.
+
+    Raw ``multiprocessing`` pool tracebacks identify neither the run nor the
+    workload; this wrapper carries the canonical run key and the workload
+    parameters so a failed point is diagnosable from logs and shard
+    manifests alike.
+    """
+
+    def __init__(self, key: str, params: Dict[str, object], error_type: str,
+                 error_message: str, worker_traceback: str = "") -> None:
+        self.key = key
+        self.params = dict(params)
+        self.error_type = error_type
+        self.error_message = error_message
+        self.worker_traceback = worker_traceback
+        described = ", ".join(f"{name}={value!r}" for name, value in self.params.items())
+        super().__init__(
+            f"simulation {key[:12]}… failed ({described}): "
+            f"{error_type}: {error_message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form, stored in shard-manifest ``failures`` entries."""
+        return {
+            "key": self.key,
+            "params": dict(self.params),
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "traceback": self.worker_traceback,
+        }
+
+
+def _run_params(payload: Dict[str, object]) -> Dict[str, object]:
+    """The human-facing workload parameters of one worker payload."""
+    config = payload["config"]
+    return {
+        "benchmark": payload["benchmark"],
+        "runtime": config["runtime"],
+        "scheduler": config["scheduler"],
+        "scale": payload["scale"],
+        "granularity": payload["granularity"],
+        "granularity_runtime": payload["workload_runtime"],
+        "seed": payload["seed"],
+    }
 
 
 @dataclass(frozen=True)
@@ -68,17 +120,30 @@ def _simulate_entry(payload: Dict[str, object]) -> Tuple[str, Dict[str, object]]
 
     Lives at module scope so it pickles under both fork and spawn start
     methods.  Returns the canonical key with the serialized result; the
-    parent performs the deterministic merge.
+    parent performs the deterministic merge.  Exceptions are captured into
+    an error marker (rather than poisoning ``pool.map`` with a raw remote
+    traceback) so the parent can attach the offending key and workload
+    parameters — and so one bad point does not discard its batchmates.
     """
-    config = SimulationConfig.from_dict(payload["config"])
-    workload = create_workload(
-        payload["benchmark"],
-        scale=payload["scale"],
-        granularity=payload["granularity"],
-        runtime=payload["workload_runtime"],
-        seed=payload["seed"],
-    )
-    result = run_simulation(workload.build_program(), config)
+    try:
+        config = SimulationConfig.from_dict(payload["config"])
+        workload = create_workload(
+            payload["benchmark"],
+            scale=payload["scale"],
+            granularity=payload["granularity"],
+            runtime=payload["workload_runtime"],
+            seed=payload["seed"],
+        )
+        result = run_simulation(workload.build_program(), config)
+    except Exception as error:  # noqa: BLE001 - reported with full context
+        return payload["key"], {
+            _ERROR_MARKER: {
+                "params": _run_params(payload),
+                "error_type": type(error).__name__,
+                "error_message": str(error),
+                "traceback": traceback.format_exc(),
+            }
+        }
     return payload["key"], result.to_dict()
 
 
@@ -195,13 +260,24 @@ class CampaignEngine:
         self._store(resolved, result)
         return result
 
-    def run_many(self, requests: Sequence[RunRequest]) -> List[SimulationResult]:
+    def run_many(
+        self,
+        requests: Sequence[RunRequest],
+        failures: Optional[Dict[str, CampaignRunError]] = None,
+    ) -> List[Optional[SimulationResult]]:
         """Run a batch, fanning uncached points out over a process pool.
 
         The return list is aligned with ``requests``.  Workers return
         serialized results; the parent deserializes and commits them in
         key-sorted order, so the memo/disk state after a parallel batch is
         identical to the state after the equivalent serial loop.
+
+        A failing simulation raises :class:`CampaignRunError` (carrying the
+        canonical key and workload parameters, not a bare pool traceback).
+        When ``failures`` is a dict the engine records errors there instead
+        — keyed by canonical run key — and returns ``None`` in the failed
+        requests' slots; successful batchmates still commit.  Shard workers
+        use that mode to turn crashes into manifest entries.
         """
         resolved = [self.resolve(request) for request in requests]
         pending: Dict[str, ResolvedRun] = {}
@@ -209,6 +285,7 @@ class CampaignEngine:
             if item.key not in pending and self._lookup(item) is None:
                 pending[item.key] = item
         ordered = sorted(pending.values(), key=lambda item: item.key)
+        errors: Dict[str, CampaignRunError] = {}
         if len(ordered) > 1 and self.jobs > 1:
             payloads = [self._payload(item) for item in ordered]
             if self.verbose:  # pragma: no cover - console feedback only
@@ -216,6 +293,16 @@ class CampaignEngine:
             with multiprocessing.Pool(processes=min(self.jobs, len(payloads))) as pool:
                 outcomes = pool.map(_simulate_entry, payloads)
             for key, result_dict in sorted(outcomes, key=lambda pair: pair[0]):
+                marker = result_dict.get(_ERROR_MARKER)
+                if marker is not None:
+                    errors[key] = CampaignRunError(
+                        key,
+                        marker["params"],
+                        marker["error_type"],
+                        marker["error_message"],
+                        marker["traceback"],
+                    )
+                    continue
                 self.simulations_run += 1
                 self._memo[key] = SimulationResult.from_dict(result_dict)
                 if self.disk_cache is not None:
@@ -223,10 +310,25 @@ class CampaignEngine:
                     self.disk_cache.put_serialized(key, result_dict)
         else:
             for item in ordered:
-                self._store(item, self._simulate(item))
+                try:
+                    result = self._simulate(item)
+                except Exception as error:  # noqa: BLE001 - wrapped with context
+                    errors[item.key] = CampaignRunError(
+                        item.key,
+                        _run_params(self._payload(item)),
+                        type(error).__name__,
+                        str(error),
+                        traceback.format_exc(),
+                    )
+                    continue
+                self._store(item, result)
         if ordered:
             self.prune_disk_cache()
-        return [self._memo[item.key] for item in resolved]
+        if errors:
+            if failures is None:
+                raise errors[min(errors)]  # deterministic: lowest key first
+            failures.update(errors)
+        return [self._memo.get(item.key) for item in resolved]
 
     def prune_disk_cache(self) -> int:
         """Enforce ``cache_max_bytes`` on the disk cache; returns evictions."""
@@ -252,8 +354,12 @@ class CampaignEngine:
                 f"[run] {request.benchmark} runtime={request.runtime} "
                 f"scheduler={request.scheduler} tasks={program.num_tasks}"
             )
+        # Count *completed* simulations only (matching the pool path, where
+        # failed workers never reach the parent's counter): shard manifests
+        # report failures separately from `simulated`.
+        result = run_simulation(program, resolved.config)
         self.simulations_run += 1
-        return run_simulation(program, resolved.config)
+        return result
 
     # ------------------------------------------------------------------ stats
     def cache_info(self) -> Dict[str, int]:

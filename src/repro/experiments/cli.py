@@ -14,6 +14,17 @@ Examples::
     # Fan the sweeps out over 8 worker processes with a persistent result
     # cache: a second invocation simulates nothing
     tdm-repro all --scale 0.2 --jobs 8 --cache-dir .campaign-cache --output results/
+
+    # Distribute one figure across three hosts: each host simulates its
+    # deterministic third of the sweep into its own cache ...
+    tdm-repro figure_12 --scale 0.2 --shard 1/3 --cache-dir shards/1   # host A
+    tdm-repro figure_12 --scale 0.2 --shard 2/3 --cache-dir shards/2   # host B
+    tdm-repro figure_12 --scale 0.2 --shard 3/3 --cache-dir shards/3   # host C
+
+    # ... then any host unions the shard caches, verifies completeness and
+    # renders — byte-identical to a serial run
+    tdm-repro figure_12 --scale 0.2 --merge-shards shards/1 shards/2 shards/3 \\
+        --cache-dir merged --output results/ --csv
 """
 
 from __future__ import annotations
@@ -23,8 +34,10 @@ import pathlib
 import sys
 from typing import Optional, Sequence
 
+from ..errors import ExperimentError
 from .common import SimulationRunner
 from .registry import available_experiments, run_experiment
+from .shard import ShardSpec, merge_shards, run_shard_worker
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,6 +92,34 @@ def build_parser() -> argparse.ArgumentParser:
         "(by mtime) whenever the cache exceeds it",
     )
     parser.add_argument(
+        "--shard",
+        metavar="I/N",
+        default=None,
+        help="shard-worker mode: simulate only this experiment's deterministic "
+        "shard I of N into --cache-dir and write a shard manifest (no rendering)",
+    )
+    parser.add_argument(
+        "--merge-shards",
+        metavar="DIR",
+        nargs="+",
+        type=pathlib.Path,
+        default=None,
+        help="merge mode: union these shard cache directories into --cache-dir, "
+        "verify the experiment's full key set is present, then render",
+    )
+    parser.add_argument(
+        "--manifest",
+        type=pathlib.Path,
+        default=None,
+        help="shard-worker manifest path (default: <cache-dir>/manifests/...)",
+    )
+    parser.add_argument(
+        "--allow-incomplete",
+        action="store_true",
+        help="with --merge-shards: render even if planned keys are missing "
+        "(the missing points are simulated locally)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list available experiments and exit",
@@ -99,6 +140,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     names = available_experiments() if args.experiment.lower() == "all" else [args.experiment]
     if args.cache_max_bytes is not None and args.cache_dir is None:
         parser.error("--cache-max-bytes requires --cache-dir")
+    if args.shard is not None and args.merge_shards is not None:
+        parser.error("--shard and --merge-shards are mutually exclusive")
+    if (args.shard is not None or args.merge_shards is not None) and args.cache_dir is None:
+        parser.error("--shard/--merge-shards require --cache-dir")
+    if (args.shard is not None or args.merge_shards is not None) and len(names) != 1:
+        parser.error("--shard/--merge-shards take a single experiment, not 'all'")
     runner = SimulationRunner(
         scale=args.scale,
         verbose=args.verbose,
@@ -106,6 +153,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache_dir=args.cache_dir,
         cache_max_bytes=args.cache_max_bytes,
     )
+
+    if args.shard is not None:
+        try:
+            manifest = run_shard_worker(
+                names[0],
+                ShardSpec.parse(args.shard),
+                runner,
+                benchmarks=args.benchmarks,
+                manifest=args.manifest,
+            )
+        except ExperimentError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        exit_code = manifest.report()
+        runner.prune_cache()
+        return exit_code
+
+    if args.merge_shards is not None:
+        try:
+            report = merge_shards(
+                names[0], args.merge_shards, runner, benchmarks=args.benchmarks
+            )
+            print(report.summary())
+            if not args.allow_incomplete:
+                report.verify()
+        except ExperimentError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        # Fall through: render below from the (now complete) merged cache.
 
     exit_code = 0
     for name in names:

@@ -34,6 +34,18 @@ SCHEDULERS = ("fifo", "lifo", "locality", "successor", "age")
 BASELINE_SCHEDULER = "fifo"
 
 
+def unique_requests(requests: Iterable[RunRequest]) -> List[RunRequest]:
+    """Order-preserving deduplication of a planned sweep.
+
+    Harness plans naturally repeat points (every figure replans its
+    software-FIFO baseline next to the same request from its scheduler
+    sweep); :class:`RunRequest` is a frozen dataclass, so equal requests
+    collapse here and plan sizes, shard manifests and prefetch batches all
+    count *simulations*, not enumeration artifacts.
+    """
+    return list(dict.fromkeys(requests))
+
+
 @dataclass
 class ExperimentResult:
     """Uniform result container for every experiment harness."""

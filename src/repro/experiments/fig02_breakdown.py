@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 
 from ..sim.timeline import Phase
 from .campaign import RunRequest
-from .common import ExperimentResult, SimulationRunner, select_benchmarks
+from .common import ExperimentResult, SimulationRunner, select_benchmarks, unique_requests
 
 PAPER_MASTER_DEPS = {"cholesky": 0.84, "qr": 0.92, "streamcluster": 0.40}
 PAPER_WORKER_AVERAGES = {"EXEC": 0.65, "IDLE": 0.32}
@@ -42,7 +42,7 @@ def plan(
     **_: object,
 ) -> list:
     """Every simulation ``run`` will request (for parallel prefetching)."""
-    return [RunRequest(name, "software") for name in select_benchmarks(benchmarks)]
+    return unique_requests(RunRequest(name, "software") for name in select_benchmarks(benchmarks))
 
 
 def run(

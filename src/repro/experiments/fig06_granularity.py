@@ -13,7 +13,7 @@ from typing import Optional, Sequence
 
 from ..workloads.registry import create_workload
 from .campaign import RunRequest
-from .common import ExperimentResult, SimulationRunner, select_benchmarks
+from .common import ExperimentResult, SimulationRunner, select_benchmarks, unique_requests
 
 #: Benchmarks swept in Figure 6 (Dedup and Ferret have a fixed granularity).
 SWEEPABLE = (
@@ -41,7 +41,7 @@ def plan(
         workload = create_workload(name, scale=runner.scale)
         for option in workload.granularity_options():
             requests.append(RunRequest(name, "software", granularity=option.value))
-    return requests
+    return unique_requests(requests)
 
 
 def run(

@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 
 from ..config import DMUConfig
 from .campaign import RunRequest
-from .common import ExperimentResult, SimulationRunner, select_benchmarks
+from .common import ExperimentResult, SimulationRunner, select_benchmarks, unique_requests
 
 #: Benchmarks shown individually in Figure 7 (the rest saturate at 512 entries).
 SENSITIVE_BENCHMARKS = ("cholesky", "ferret", "histogram", "lu", "qr")
@@ -56,7 +56,7 @@ def plan(
         for tat in sizes:
             for dat in sizes:
                 requests.append(RunRequest(name, "tdm", dmu=_sweep_dmu(base, tat, dat)))
-    return requests
+    return unique_requests(requests)
 
 
 def run(

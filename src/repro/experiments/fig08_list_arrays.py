@@ -20,7 +20,7 @@ from typing import Optional, Sequence
 from ..config import DMUConfig
 from ..errors import ExperimentError
 from .campaign import RunRequest
-from .common import ExperimentResult, SimulationRunner, select_benchmarks
+from .common import ExperimentResult, SimulationRunner, select_benchmarks, unique_requests
 
 SIZES = (128, 512, 1024, 2048)
 
@@ -65,7 +65,7 @@ def plan(
         requests.append(RunRequest(name, "tdm", dmu=DMUConfig.ideal()))
         for sla, dla, rla in _combos(sizes, mode):
             requests.append(RunRequest(name, "tdm", dmu=_sweep_dmu(base, sla, dla, rla)))
-    return requests
+    return unique_requests(requests)
 
 
 def run(

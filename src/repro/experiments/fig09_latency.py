@@ -13,7 +13,7 @@ from dataclasses import replace
 from typing import Optional, Sequence
 
 from .campaign import RunRequest
-from .common import ExperimentResult, SimulationRunner, select_benchmarks
+from .common import ExperimentResult, SimulationRunner, select_benchmarks, unique_requests
 
 LATENCIES = (1, 4, 16)
 
@@ -32,7 +32,7 @@ def plan(
     for name in select_benchmarks(benchmarks):
         for latency in [0] + list(latencies):
             requests.append(RunRequest(name, "tdm", dmu=replace(base, access_cycles=latency)))
-    return requests
+    return unique_requests(requests)
 
 
 def run(

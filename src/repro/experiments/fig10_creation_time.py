@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from .campaign import RunRequest
-from .common import ExperimentResult, SimulationRunner, select_benchmarks
+from .common import ExperimentResult, SimulationRunner, select_benchmarks, unique_requests
 
 COLUMNS = (
     "benchmark",
@@ -42,7 +42,7 @@ def plan(
     for name in select_benchmarks(benchmarks):
         requests.append(RunRequest(name, "software"))
         requests.append(RunRequest(name, "tdm", "fifo"))
-    return requests
+    return unique_requests(requests)
 
 
 def run(

@@ -20,7 +20,7 @@ from dataclasses import replace
 from typing import Optional, Sequence, Union
 
 from .campaign import RunRequest
-from .common import ExperimentResult, SimulationRunner, select_benchmarks
+from .common import ExperimentResult, SimulationRunner, select_benchmarks, unique_requests
 
 #: Benchmarks plotted in Figure 11.
 FIGURE_BENCHMARKS = ("blackscholes", "cholesky", "fluidanimate", "histogram", "qr")
@@ -44,7 +44,7 @@ def plan(
             dmu = replace(base, index_selection="static", static_index_start_bit=int(bits))
             requests.append(RunRequest(name, "tdm", dmu=dmu))
         requests.append(RunRequest(name, "tdm", dmu=replace(base, index_selection="dynamic")))
-    return requests
+    return unique_requests(requests)
 
 
 def run(

@@ -23,6 +23,7 @@ from .common import (
     SCHEDULERS,
     SimulationRunner,
     select_benchmarks,
+    unique_requests,
 )
 
 COLUMNS = ("benchmark", "configuration", "speedup", "normalized_edp")
@@ -51,7 +52,7 @@ def plan(
         for scheduler in schedulers:
             requests.append(RunRequest(name, "software", scheduler))
             requests.append(RunRequest(name, "tdm", scheduler))
-    return requests
+    return unique_requests(requests)
 
 
 def run(

@@ -21,6 +21,7 @@ from .common import (
     SCHEDULERS,
     SimulationRunner,
     select_benchmarks,
+    unique_requests,
 )
 
 COLUMNS = ("benchmark", "configuration", "speedup", "normalized_edp")
@@ -49,7 +50,7 @@ def plan(
         requests.append(RunRequest(name, "task_superscalar"))
         for scheduler in schedulers:
             requests.append(RunRequest(name, "tdm", scheduler))
-    return requests
+    return unique_requests(requests)
 
 
 def run(

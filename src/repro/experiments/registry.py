@@ -6,6 +6,11 @@ the planned runs through the runner's campaign engine before invoking the
 harness.  With a parallel runner (``jobs > 1``) the whole sweep fans out
 over the process pool and the harness then assembles its rows from cache
 hits; with a serial runner the plan is skipped and behavior is unchanged.
+
+:func:`resolve_plan` exposes the same plan as resolved runs (canonical key
+plus full configuration, deduplicated and key-sorted) — the authoritative
+key set the sharded campaign layer partitions across hosts and verifies
+merged caches against.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import ExperimentError
+from .campaign import ResolvedRun
 from . import (
     fig02_breakdown,
     fig06_granularity,
@@ -70,6 +76,37 @@ def get_experiment(name: str) -> ExperimentFunction:
     return _EXPERIMENTS[canonical]
 
 
+def plan_function(name: str) -> Optional[Callable[..., List]]:
+    """The ``plan`` function of an experiment, or None for analytic tables."""
+    function = get_experiment(name)
+    return getattr(sys.modules[function.__module__], "plan", None)
+
+
+def resolve_plan(
+    name: str,
+    runner: SimulationRunner,
+    benchmarks: Optional[Sequence[str]] = None,
+    **kwargs: object,
+) -> List[ResolvedRun]:
+    """Every simulation of one experiment's sweep, resolved and key-sorted.
+
+    Duplicate requests collapse by canonical key, so the result is the
+    exact key set a full run populates — what shard workers partition and
+    what the merge step's completeness check demands.  Raises for
+    experiments with no simulation plan (the analytic tables).
+    """
+    plan = plan_function(name)
+    if plan is None:
+        raise ExperimentError(
+            f"experiment {name!r} has no simulation plan (nothing to shard)"
+        )
+    resolved: Dict[str, ResolvedRun] = {}
+    for request in plan(runner, benchmarks=benchmarks, **kwargs):
+        item = runner.engine.resolve(request)
+        resolved.setdefault(item.key, item)
+    return [resolved[key] for key in sorted(resolved)]
+
+
 def run_experiment(
     name: str,
     scale: float = 1.0,
@@ -80,7 +117,7 @@ def run_experiment(
     """Run one experiment by name (prefetching its sweep when parallel)."""
     function = get_experiment(name)
     if runner is not None and getattr(runner, "jobs", 1) > 1:
-        plan = getattr(sys.modules[function.__module__], "plan", None)
+        plan = plan_function(name)
         if plan is not None:
             runner.prefetch(plan(runner, benchmarks=benchmarks, **kwargs))
     return function(scale=scale, benchmarks=benchmarks, runner=runner, **kwargs)

@@ -286,3 +286,128 @@ class TestCachePruning:
         with pytest.raises(SystemExit):
             main(["figure_02", "--cache-max-bytes", "1000"])
         assert "--cache-max-bytes requires --cache-dir" in capsys.readouterr().err
+
+
+class TestCachePruneEdgeCases:
+    """The corners of eviction: mtime ties, zero budgets, mid-campaign needs."""
+
+    def _cache_with_keys(self, tmp_path, keys, mtime=None):
+        import os
+
+        cache = ResultCache(tmp_path / "cache")
+        for key in keys:
+            path = cache.put_serialized(key, {"payload": "x" * 100})
+            if mtime is not None:
+                os.utime(path, (mtime, mtime))
+        return cache
+
+    def test_mtime_ties_break_deterministically_by_key(self, tmp_path):
+        # Coarse-timestamp filesystems and just-merged shard caches produce
+        # exact mtime ties; eviction order must not depend on readdir order.
+        keys = sorted(f"{index:02x}" + "cd" * 31 for index in range(6))
+        cache = self._cache_with_keys(tmp_path, keys, mtime=1_000_000.0)
+        entry = cache.path_for(keys[0]).stat().st_size
+        assert cache.prune(entry * 2) == 4
+        assert cache.keys() == keys[4:]  # lexicographically-smallest evicted first
+
+    def test_prune_zero_budget_on_empty_cache_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.prune(0) == 0
+        assert cache.total_bytes() == 0
+
+    def test_get_refreshes_mtime_so_hot_keys_survive_pruning(self, tmp_path):
+        import os
+
+        result = run_simulation(diamond_program(), make_config(runtime="software"))
+        cache = ResultCache(tmp_path / "cache")
+        old_key, new_key = "aa" + "0" * 62, "bb" + "0" * 62
+        old_path = cache.put(old_key, result)
+        new_path = cache.put(new_key, result)
+        os.utime(old_path, (1_000_000.0, 1_000_000.0))
+        os.utime(new_path, (2_000_000.0, 2_000_000.0))
+        # A campaign reads the *older* entry: it becomes most-recently-used …
+        assert cache.get(old_key) is not None
+        # … so pruning down to one entry evicts the unread key instead.
+        assert cache.prune(old_path.stat().st_size) == 1
+        assert old_key in cache
+        assert new_key not in cache
+
+    def test_manifests_inside_cache_dir_are_never_pruned_or_counted(self, tmp_path):
+        cache = self._cache_with_keys(tmp_path, ["ab" + "0" * 62])
+        manifest = cache.directory / "manifests" / "figure_10.shard-1-of-2.json"
+        manifest.parent.mkdir()
+        manifest.write_text('{"experiment": "figure_10"}', encoding="utf-8")
+        assert len(cache) == 1
+        stray = cache.total_bytes()
+        assert stray == cache.path_for("ab" + "0" * 62).stat().st_size
+        assert cache.prune(0) == 1  # the entry, not the manifest
+        assert manifest.exists()
+        cache.clear()
+        assert manifest.exists()
+
+    def test_midcampaign_eviction_never_loses_a_needed_result(self, tmp_path):
+        # The harshest budget evicts every disk entry after each batch, yet
+        # the run's own results stay reachable (memo) — re-requesting a key
+        # the campaign already simulated never resimulates mid-run.
+        engine = CampaignEngine(scale=SCALE, cache_dir=tmp_path / "cache", cache_max_bytes=0)
+        request = RunRequest("blackscholes", "software")
+        first = engine.run_many([request])[0]
+        assert engine.disk_cache.total_bytes() == 0  # evicted on disk …
+        second = engine.run(request)
+        assert second is first  # … but not from the running campaign
+        assert engine.cache_info()["simulations_run"] == 1
+
+
+class TestRunManyFailureWrapping:
+    """Worker crashes surface as CampaignRunError with key + workload params."""
+
+    @pytest.fixture
+    def broken_qr(self, monkeypatch):
+        import repro.experiments.campaign as campaign_module
+
+        real = campaign_module.run_simulation
+
+        def explode_on_qr(program, config):
+            if program.name.startswith("qr"):
+                raise RuntimeError("injected qr fault")
+            return real(program, config)
+
+        monkeypatch.setattr(campaign_module, "run_simulation", explode_on_qr)
+
+    def test_serial_batch_raises_wrapped_error(self, broken_qr):
+        from repro.experiments.campaign import CampaignRunError
+
+        engine = CampaignEngine(scale=SCALE)
+        with pytest.raises(CampaignRunError) as excinfo:
+            engine.run_many([RunRequest("qr", "software")])
+        error = excinfo.value
+        assert error.params["benchmark"] == "qr"
+        assert error.params["runtime"] == "software"
+        assert error.params["scheduler"] == "fifo"
+        assert error.error_type == "RuntimeError"
+        assert error.key in error.to_dict()["key"]
+        assert "qr" in str(error) and error.key[:12] in str(error)
+
+    def test_collect_mode_returns_none_slots_and_commits_survivors(self, broken_qr):
+        from repro.experiments.campaign import CampaignRunError
+
+        engine = CampaignEngine(scale=SCALE)
+        failures = {}
+        results = engine.run_many(
+            [RunRequest("blackscholes", "software"), RunRequest("qr", "software")],
+            failures=failures,
+        )
+        assert results[0] is not None and results[1] is None
+        assert len(failures) == 1
+        (error,) = failures.values()
+        assert isinstance(error, CampaignRunError)
+        assert error.params["benchmark"] == "qr"
+        assert engine.cache_info()["simulations_run"] == 1  # survivor committed
+
+    def test_failed_key_is_not_cached_anywhere(self, broken_qr, tmp_path):
+        engine = CampaignEngine(scale=SCALE, cache_dir=tmp_path / "cache")
+        failures = {}
+        engine.run_many([RunRequest("qr", "software")], failures=failures)
+        (key,) = failures
+        assert key not in engine.disk_cache
+        assert engine.run_many([RunRequest("qr", "software")], failures={}) == [None]
