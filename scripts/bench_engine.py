@@ -8,7 +8,13 @@ Two measurements, recorded in ``BENCH_engine.json``:
   model on top) measured in events per second.  The command-object variant
   (``yield Timeout(n)``) runs on every kernel generation; the bare-int
   variant (``yield n``) is attempted and recorded as ``None`` on kernels
-  that predate the fast path.
+  that predate the fast path.  The short-delay mix exercises the near-future
+  time wheel; a mixed near/far bare-int variant forces traffic through the
+  far-future heap and its wheel migration as well.  Its delay pattern is
+  tier-agnostic, so it runs (and records a real number) on pre-wheel
+  kernels too — like every raw-kernel figure it is only meaningful within
+  one machine, and cross-generation comparisons belong to the
+  ``--record-baseline`` protocol.
 
 * **Cold single-run wall time** — the fig02/fig12 smoke set (three
   benchmarks, serial, no result cache) simulated from scratch.  This is the
@@ -40,8 +46,18 @@ SMOKE_BENCHMARKS = ["blackscholes", "cholesky", "qr"]
 
 
 # --------------------------------------------------------------------- raw kernel
-def _kernel_workload(engine: Engine, events_per_process: int, use_int_yields: bool):
-    """A synthetic process mix exercising timeouts, events and lock handoffs."""
+def _kernel_workload(
+    engine: Engine,
+    events_per_process: int,
+    use_int_yields: bool,
+    far_future: bool = False,
+):
+    """A synthetic process mix exercising timeouts, events and lock handoffs.
+
+    With ``far_future`` one delay in eight jumps hundreds of cycles ahead,
+    pushing traffic through the far-future heap tier and the heap-to-wheel
+    migration path of the two-tier queue.
+    """
     lock = Lock(engine, "bench")
     channel = engine.event("bench-start")
 
@@ -49,6 +65,8 @@ def _kernel_workload(engine: Engine, events_per_process: int, use_int_yields: bo
         yield WaitEvent(channel)
         for step in range(events_per_process):
             delay = (step * 7 + offset) % 11
+            if far_future and step % 8 == 0:
+                delay = 300 + (step * 13 + offset) % 700
             if use_int_yields:
                 yield delay
             else:
@@ -76,17 +94,21 @@ def _kernel_workload(engine: Engine, events_per_process: int, use_int_yields: bo
     return procs
 
 
-def measure_raw_kernel(events_per_process: int = 2000, use_int_yields: bool = False):
+def measure_raw_kernel(
+    events_per_process: int = 2000,
+    use_int_yields: bool = False,
+    far_future: bool = False,
+):
     """Events/second of the synthetic kernel workload.
 
-    The bare-int variant returns ``None`` on kernels that predate the fast
+    The bare-int variants return ``None`` on kernels that predate the fast
     path (they reject int yields); any other failure propagates — a kernel
     that cannot run the command-object workload is a regression the
     benchmark must report loudly, not record as ``null``.
     """
     engine = Engine()
     try:
-        _kernel_workload(engine, events_per_process, use_int_yields)
+        _kernel_workload(engine, events_per_process, use_int_yields, far_future)
         start = time.perf_counter()
         engine.run()
         elapsed = time.perf_counter() - start
@@ -140,6 +162,9 @@ def run_measurements(scale: float, repeat: int) -> dict:
             lambda: measure_raw_kernel(use_int_yields=False), repeat
         ),
         "raw_kernel_bare_int": _best(lambda: measure_raw_kernel(use_int_yields=True), repeat),
+        "raw_kernel_far_future": _best(
+            lambda: measure_raw_kernel(use_int_yields=True, far_future=True), repeat
+        ),
         "cold_smoke": _best(lambda: measure_cold_smoke(scale), repeat),
         "repeat": repeat,
     }

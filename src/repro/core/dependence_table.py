@@ -7,19 +7,29 @@ reader tasks in the Reader List Array.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from ..errors import DMUProtocolError
 
 
-@dataclass
 class DependenceTableEntry:
-    """One in-flight dependence tracked by the DMU."""
+    """One in-flight dependence tracked by the DMU.
 
-    last_writer: int = -1
-    last_writer_valid: bool = False
-    reader_list: int = -1
+    A ``__slots__`` class (one is allocated per first ``add_dependence`` of
+    an address; the generated dataclass ``__init__`` was measurable there).
+    """
+
+    __slots__ = ("last_writer", "last_writer_valid", "reader_list")
+
+    def __init__(
+        self,
+        last_writer: int = -1,
+        last_writer_valid: bool = False,
+        reader_list: int = -1,
+    ) -> None:
+        self.last_writer = last_writer
+        self.last_writer_valid = last_writer_valid
+        self.reader_list = reader_list
 
     def set_last_writer(self, task_id: int) -> None:
         self.last_writer = task_id
@@ -55,11 +65,15 @@ class DependenceTable:
         self.peak_occupancy = max(self.peak_occupancy, self._occupancy)
 
     def get(self, dep_id: int) -> DependenceTableEntry:
-        self._check_id(dep_id)
-        entry = self._entries[dep_id]
-        if entry is None:
+        """Read the entry for ``dep_id`` (bounds check inlined: hot path)."""
+        if 0 <= dep_id < self.num_entries:
+            entry = self._entries[dep_id]
+            if entry is not None:
+                return entry
             raise DMUProtocolError(f"Dependence Table entry {dep_id} is not valid")
-        return entry
+        raise DMUProtocolError(
+            f"dependence id {dep_id} out of range [0, {self.num_entries})"
+        )
 
     def free(self, dep_id: int) -> None:
         self._check_id(dep_id)
@@ -69,8 +83,11 @@ class DependenceTable:
         self._occupancy -= 1
 
     def is_valid(self, dep_id: int) -> bool:
-        self._check_id(dep_id)
-        return self._entries[dep_id] is not None
+        if 0 <= dep_id < self.num_entries:
+            return self._entries[dep_id] is not None
+        raise DMUProtocolError(
+            f"dependence id {dep_id} out of range [0, {self.num_entries})"
+        )
 
     def _check_id(self, dep_id: int) -> None:
         if not (0 <= dep_id < self.num_entries):

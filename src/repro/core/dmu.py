@@ -102,6 +102,12 @@ class DependenceManagementUnit:
         self.ready_queue = ReadyQueue(config.ready_queue_entries)
         self.stats = DMUStats()
         self._access_cycles = config.access_cycles
+        # A null ready-pop always looks the same (one access, no task), and
+        # callers never mutate result objects, so every empty-queue pop can
+        # share this instance instead of allocating one.
+        self._null_ready_result = GetReadyTaskResult(
+            cycles=self._access_cycles, descriptor_address=None
+        )
         # Model-level bookkeeping (not hardware state): reverse maps used to
         # release alias-table entries and report descriptor addresses.
         self._descriptor_of_task: Dict[int, int] = {}
@@ -186,7 +192,7 @@ class DependenceManagementUnit:
         stats.instructions["create_task"] += 1
         stats.total_cycles += cycles
         stats.tasks_created += 1
-        return CreateTaskResult(cycles=cycles, task_id=task_id)
+        return CreateTaskResult(cycles, task_id)
 
     # ------------------------------------------------------------------ add_dependence
     def add_dependence(
@@ -275,17 +281,24 @@ class DependenceManagementUnit:
             structure_accesses[RLA] += rla_accesses
         else:
             # WAR edges: every current reader gains this task as a successor.
+            # (Counter updates accumulated in locals, committed once below.)
+            task_table_get = self.task_table.get
+            sla_append = self.successor_lists.append
+            war_sla_accesses = 0
+            war_edges = 0
             for reader_id in readers:
                 if reader_id == task_id:
                     continue
-                reader_entry = self.task_table.get(reader_id)
-                sla_accesses = self.successor_lists.append(reader_entry.successor_list, task_id)
-                accesses += sla_accesses + 2
-                structure_accesses[SLA] += sla_accesses
-                structure_accesses[TASK_TABLE] += 2
+                reader_entry = task_table_get(reader_id)
+                war_sla_accesses += sla_append(reader_entry.successor_list, task_id)
                 reader_entry.successor_count += 1
-                task_entry.predecessor_count += 1
-                predecessors_added += 1
+                war_edges += 1
+            if war_edges:
+                accesses += war_sla_accesses + 2 * war_edges
+                structure_accesses[SLA] += war_sla_accesses
+                structure_accesses[TASK_TABLE] += 2 * war_edges
+                task_entry.predecessor_count += war_edges
+                predecessors_added += war_edges
             # "Flush reader list of depID"
             if dep_entry.reader_list >= 0:
                 rla_accesses = self.reader_lists.flush(dep_entry.reader_list)
@@ -301,9 +314,7 @@ class DependenceManagementUnit:
         stats.instructions["add_dependence"] += 1
         stats.total_cycles += cycles
         stats.dependences_added += 1
-        return AddDependenceResult(
-            cycles=cycles, dependence_id=dep_id, predecessors_added=predecessors_added
-        )
+        return AddDependenceResult(cycles, dep_id, predecessors_added)
 
     def _add_dependence_capacity_check(
         self,
@@ -317,28 +328,32 @@ class DependenceManagementUnit:
         direction: str,
     ) -> Optional[DMUBlocked]:
         """Return a :class:`DMUBlocked` if the operation could not complete."""
+        dependence_lists = self.dependence_lists
+        successor_lists = self.successor_lists
+        reader_lists = self.reader_lists
         if dep_is_new and not self.dat.can_allocate(dependence_address, size):
             self.stats.record_blocked(DAT)
             return DMUBlocked(DAT)
 
-        needed_dla = 1 if self.dependence_lists.appending_needs_new_entry(task_entry.dependence_list) else 0
-        if self.dependence_lists.free_entries < needed_dla:
+        needed_dla = 1 if dependence_lists.appending_needs_new_entry(task_entry.dependence_list) else 0
+        if dependence_lists.free_entries < needed_dla:
             self.stats.record_blocked(DLA)
             return DMUBlocked(DLA)
 
         needed_sla = 0
         if dep_entry is not None and dep_entry.last_writer_valid and dep_entry.last_writer != task_id:
             writer_entry = self.task_table.get(dep_entry.last_writer)
-            if self.successor_lists.appending_needs_new_entry(writer_entry.successor_list):
+            if successor_lists.appending_needs_new_entry(writer_entry.successor_list):
                 needed_sla += 1
         if direction == "out":
+            task_table_get = self.task_table.get
             for reader_id in readers:
                 if reader_id == task_id:
                     continue
-                reader_entry = self.task_table.get(reader_id)
-                if self.successor_lists.appending_needs_new_entry(reader_entry.successor_list):
+                reader_entry = task_table_get(reader_id)
+                if successor_lists.appending_needs_new_entry(reader_entry.successor_list):
                     needed_sla += 1
-        if self.successor_lists.free_entries < needed_sla:
+        if successor_lists.free_entries < needed_sla:
             self.stats.record_blocked(SLA)
             return DMUBlocked(SLA)
 
@@ -346,9 +361,9 @@ class DependenceManagementUnit:
         if direction == "in":
             if dep_entry is None or dep_entry.reader_list < 0:
                 needed_rla = 1
-            elif self.reader_lists.appending_needs_new_entry(dep_entry.reader_list):
+            elif reader_lists.appending_needs_new_entry(dep_entry.reader_list):
                 needed_rla = 1
-        if self.reader_lists.free_entries < needed_rla:
+        if reader_lists.free_entries < needed_rla:
             self.stats.record_blocked(RLA)
             return DMUBlocked(RLA)
         return None
@@ -374,7 +389,7 @@ class DependenceManagementUnit:
             became_ready = True
         cycles = self._cycles(accesses)
         self.stats.record_instruction("complete_creation", cycles)
-        return CompleteCreationResult(cycles=cycles, became_ready=became_ready)
+        return CompleteCreationResult(cycles, became_ready)
 
     # ------------------------------------------------------------------ finish_task
     def finish_task(self, descriptor_address: int) -> FinishTaskResult:
@@ -388,60 +403,65 @@ class DependenceManagementUnit:
         structure_accesses[TASK_TABLE] += 1
         tasks_woken = 0
 
-        # First loop: wake up successors.
+        # First loop: wake up successors.  Counter updates for the loop are
+        # accumulated in locals and committed once (identical totals).
+        task_table_get = self.task_table.get
+        ready_queue_push = self.ready_queue.push
         successors, sla_accesses = self.successor_lists.iterate(entry.successor_list)
-        accesses += sla_accesses
+        accesses += sla_accesses + len(successors)
         structure_accesses[SLA] += sla_accesses
+        structure_accesses[TASK_TABLE] += len(successors)
         for successor_id in successors:
-            successor_entry = self.task_table.get(successor_id)
-            accesses += 1
-            structure_accesses[TASK_TABLE] += 1
-            successor_entry.predecessor_count -= 1
-            if successor_entry.predecessor_count < 0:
+            successor_entry = task_table_get(successor_id)
+            remaining = successor_entry.predecessor_count - 1
+            successor_entry.predecessor_count = remaining
+            if remaining == 0:
+                if successor_entry.creation_complete:
+                    ready_queue_push(successor_id)
+                    tasks_woken += 1
+            elif remaining < 0:
                 raise DMUProtocolError(
                     f"task id {successor_id} predecessor count went negative"
                 )
-            if successor_entry.predecessor_count == 0 and successor_entry.creation_complete:
-                self.ready_queue.push(successor_id)
-                accesses += 1
-                structure_accesses[READY_QUEUE] += 1
-                tasks_woken += 1
+        accesses += tasks_woken
+        structure_accesses[READY_QUEUE] += tasks_woken
 
         # Second loop: clean this task out of its dependences.
+        dependence_table = self.dependence_table
+        reader_lists = self.reader_lists
         dependences, dla_accesses = self.dependence_lists.iterate(entry.dependence_list)
         accesses += dla_accesses
         structure_accesses[DLA] += dla_accesses
+        dep_table_accesses = 0
+        rla_accesses_total = 0
+        dat_releases = 0
         for dep_id in dependences:
-            if not self.dependence_table.is_valid(dep_id):
+            if not dependence_table.is_valid(dep_id):
                 # The dependence entry was already recycled by an earlier
                 # occurrence of the same address in this task's list.
                 continue
-            dep_entry = self.dependence_table.get(dep_id)
-            accesses += 1
-            structure_accesses[DEP_TABLE] += 1
-            if dep_entry.reader_list >= 0:
-                _found, rla_accesses = self.reader_lists.remove(dep_entry.reader_list, task_id)
-                accesses += rla_accesses
-                structure_accesses[RLA] += rla_accesses
+            dep_entry = dependence_table.get(dep_id)
+            dep_table_accesses += 1
+            reader_list = dep_entry.reader_list
+            if reader_list >= 0:
+                _found, rla_accesses = reader_lists.remove(reader_list, task_id)
+                rla_accesses_total += rla_accesses
             if dep_entry.last_writer_valid and dep_entry.last_writer == task_id:
                 dep_entry.invalidate_last_writer()
-                accesses += 1
-                structure_accesses[DEP_TABLE] += 1
-            reader_list_empty = (
-                dep_entry.reader_list < 0 or self.reader_lists.is_empty(dep_entry.reader_list)
-            )
+                dep_table_accesses += 1
+            reader_list_empty = reader_list < 0 or reader_lists.is_empty(reader_list)
             if not dep_entry.last_writer_valid and reader_list_empty:
-                if dep_entry.reader_list >= 0:
-                    rla_accesses = self.reader_lists.free_list(dep_entry.reader_list)
-                    accesses += rla_accesses
-                    structure_accesses[RLA] += rla_accesses
-                self.dependence_table.free(dep_id)
-                accesses += 1
-                structure_accesses[DEP_TABLE] += 1
+                if reader_list >= 0:
+                    rla_accesses_total += reader_lists.free_list(reader_list)
+                dependence_table.free(dep_id)
+                dep_table_accesses += 1
                 address, _size = self._address_of_dependence.pop(dep_id)
                 self.dat.release(address)
-                accesses += 1
-                structure_accesses[DAT] += 1
+                dat_releases += 1
+        accesses += dep_table_accesses + rla_accesses_total + dat_releases
+        structure_accesses[DEP_TABLE] += dep_table_accesses
+        structure_accesses[RLA] += rla_accesses_total
+        structure_accesses[DAT] += dat_releases
 
         # Free the task's own resources.
         sla_free_accesses = self.successor_lists.free_list(entry.successor_list)
@@ -462,7 +482,7 @@ class DependenceManagementUnit:
         stats.instructions["finish_task"] += 1
         stats.total_cycles += cycles
         stats.tasks_finished += 1
-        return FinishTaskResult(cycles=cycles, tasks_woken=tasks_woken)
+        return FinishTaskResult(cycles, tasks_woken)
 
     # ------------------------------------------------------------------ get_ready_task
     def get_ready_task(self) -> GetReadyTaskResult:
@@ -472,10 +492,9 @@ class DependenceManagementUnit:
         stats.instructions["get_ready_task"] += 1
         task_id = self.ready_queue.pop()
         if task_id is None:
-            cycles = self._access_cycles
-            stats.total_cycles += cycles
+            stats.total_cycles += self._access_cycles
             stats.null_ready_pops += 1
-            return GetReadyTaskResult(cycles=cycles, descriptor_address=None)
+            return self._null_ready_result
         entry = self.task_table.get(task_id)
         stats.structure_accesses[TASK_TABLE] += 1
         cycles = 2 * self._access_cycles

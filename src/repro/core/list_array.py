@@ -11,7 +11,10 @@ Dependence List Array (dependence IDs) and the Reader List Array (task IDs).
 They share this implementation.
 
 Every method returns the number of SRAM entry accesses it performed so the
-DMU can charge the corresponding latency.
+DMU can charge the corresponding latency.  The access counts are part of the
+timing model (and therefore of the pinned byte-identical CSV digests), so
+performance work here may only change *how* a walk is executed, never how
+many entries it visits.
 """
 
 from __future__ import annotations
@@ -38,19 +41,13 @@ class _ListEntry:
         self.elements = elements
         self.next_index = next_index
         self.in_use = in_use
-        self.valid = sum(1 for element in elements if element != INVALID_ELEMENT)
+        self.valid = len(elements) - elements.count(INVALID_ELEMENT)
 
     def count(self) -> int:
         return self.valid
 
     def is_full(self) -> bool:
         return self.valid == len(self.elements)
-
-    def clear_elements(self) -> None:
-        elements = self.elements
-        for slot in range(len(elements)):
-            elements[slot] = INVALID_ELEMENT
-        self.valid = 0
 
 
 class ListArray:
@@ -72,44 +69,47 @@ class ListArray:
         self._recycled: List[int] = []
         self._next_fresh_index = 0
         self.peak_entries_used = 0
-        self._in_use = 0
+        #: Number of SRAM entries not currently assigned to any list.  A
+        #: plain attribute maintained by allocate/release (not a property):
+        #: the DMU reads it in every capacity pre-check.
+        self.free_entries = num_entries
+        # All-invalid slot row, slice-assigned to recycle an entry in one C
+        # call instead of a per-slot Python loop.
+        self._blank_row = (INVALID_ELEMENT,) * elements_per_entry
 
     # ------------------------------------------------------------------ capacity
     @property
-    def free_entries(self) -> int:
-        """Number of SRAM entries not currently assigned to any list."""
-        return self.num_entries - self._in_use
-
-    @property
     def entries_in_use(self) -> int:
-        return self._in_use
+        return self.num_entries - self.free_entries
 
     def _allocate_entry(self) -> int:
-        if self._in_use >= self.num_entries:
+        free = self.free_entries
+        if free <= 0:
             raise DMUStructureFullError(self.name)
         if self._recycled:
+            # _release_entry already blanked the slots and reset `valid`.
             index = self._recycled.pop()
+            entry = self._entries[index]
         else:
             index = self._next_fresh_index
-            self._next_fresh_index += 1
-            self._entries[index] = _ListEntry(
-                [INVALID_ELEMENT] * self.elements_per_entry, next_index=index
-            )
-        entry = self._entries[index]
+            self._next_fresh_index = index + 1
+            entry = _ListEntry(list(self._blank_row), next_index=index)
+            self._entries[index] = entry
         entry.in_use = True
-        entry.clear_elements()
         entry.next_index = index
-        self._in_use += 1
-        if self._in_use > self.peak_entries_used:
-            self.peak_entries_used = self._in_use
+        self.free_entries = free - 1
+        in_use = self.num_entries - free + 1
+        if in_use > self.peak_entries_used:
+            self.peak_entries_used = in_use
         return index
 
     def _release_entry(self, index: int) -> None:
         entry = self._entries[index]
         entry.in_use = False
-        entry.clear_elements()
+        entry.elements[:] = self._blank_row
+        entry.valid = 0
         entry.next_index = index
-        self._in_use -= 1
+        self.free_entries += 1
         self._recycled.append(index)
 
     # ------------------------------------------------------------------ list API
@@ -120,8 +120,19 @@ class ListArray:
 
     def appending_needs_new_entry(self, head: int) -> bool:
         """True when appending one element to the list would allocate an entry."""
-        tail = self._entries[self._tail_index(head)]
-        return tail.valid == len(tail.elements)
+        entries = self._entries
+        index = head
+        visited = 0
+        while True:
+            entry = entries[index]
+            if not entry.in_use:
+                raise ValueError(f"{self.name}: list head {head} references a free entry")
+            visited += 1
+            if entry.next_index == index:
+                return entry.valid == self.elements_per_entry
+            if visited > self.num_entries:
+                raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
+            index = entry.next_index
 
     def append(self, head: int, value: int) -> int:
         """Append ``value`` to the list starting at ``head``; returns accesses.
@@ -133,19 +144,23 @@ class ListArray:
         if value == INVALID_ELEMENT:
             raise ValueError("cannot store the invalid-element marker")
         entries = self._entries
+        per_entry = self.elements_per_entry
         accesses = 0
         index = head
         while True:
             accesses += 1
             entry = entries[index]
-            if entry.valid < len(entry.elements):
+            valid = entry.valid
+            if valid < per_entry:
+                # First free slot, located with the C-level scan (invalid
+                # slots hold the marker, so index() finds the same slot the
+                # old per-slot loop did).
                 elements = entry.elements
-                for slot, element in enumerate(elements):
-                    if element == INVALID_ELEMENT:
-                        elements[slot] = value
-                        entry.valid += 1
-                        return accesses
-            if entry.next_index == index:
+                elements[elements.index(INVALID_ELEMENT)] = value
+                entry.valid = valid + 1
+                return accesses
+            next_index = entry.next_index
+            if next_index == index:
                 new_index = self._allocate_entry()
                 accesses += 1
                 entry.next_index = new_index
@@ -153,11 +168,12 @@ class ListArray:
                 new_entry.elements[0] = value
                 new_entry.valid = 1
                 return accesses
-            index = entry.next_index
+            index = next_index
 
     def iterate(self, head: int) -> Tuple[List[int], int]:
         """Return ``(values, accesses)`` for the whole list."""
         entries = self._entries
+        per_entry = self.elements_per_entry
         values: List[int] = []
         accesses = 0
         index = head
@@ -166,15 +182,21 @@ class ListArray:
             entry = entries[index]
             if not entry.in_use:
                 raise ValueError(f"{self.name}: list head {head} references a free entry")
-            if entry.valid:
-                values.extend(
-                    element for element in entry.elements if element != INVALID_ELEMENT
-                )
-            if entry.next_index == index:
+            valid = entry.valid
+            if valid:
+                elements = entry.elements
+                if valid == per_entry:
+                    values.extend(elements)
+                else:
+                    values.extend(
+                        [element for element in elements if element != INVALID_ELEMENT]
+                    )
+            next_index = entry.next_index
+            if next_index == index:
                 return values, accesses
             if accesses > self.num_entries:
                 raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
-            index = entry.next_index
+            index = next_index
 
     def remove(self, head: int, value: int) -> Tuple[bool, int]:
         """Remove the first occurrence of ``value``; returns ``(found, accesses)``."""
@@ -188,40 +210,65 @@ class ListArray:
                 raise ValueError(f"{self.name}: list head {head} references a free entry")
             if entry.valid:
                 elements = entry.elements
-                for slot, element in enumerate(elements):
-                    if element == value:
-                        elements[slot] = INVALID_ELEMENT
-                        entry.valid -= 1
-                        return True, accesses
-            if entry.next_index == index:
+                if value in elements:
+                    elements[elements.index(value)] = INVALID_ELEMENT
+                    entry.valid -= 1
+                    return True, accesses
+            next_index = entry.next_index
+            if next_index == index:
                 return False, accesses
             if accesses > self.num_entries:
                 raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
-            index = entry.next_index
+            index = next_index
 
     def flush(self, head: int) -> int:
         """Empty the list (keeping its head entry allocated); returns accesses.
 
         Used for "Flush reader list of depID" in Algorithm 1.
         """
-        accesses = 0
-        chain = list(self._walk(head))
-        for index in chain:
-            accesses += 1
-        for index in chain[1:]:
-            self._release_entry(index)
-        head_entry = self._entries[head]
-        head_entry.clear_elements()
+        entries = self._entries
+        head_entry = entries[head]
+        if not head_entry.in_use:
+            raise ValueError(f"{self.name}: list head {head} references a free entry")
+        accesses = 1
+        index = head_entry.next_index
+        if index != head:
+            while True:
+                entry = entries[index]
+                if not entry.in_use:
+                    raise ValueError(
+                        f"{self.name}: list head {head} references a free entry"
+                    )
+                accesses += 1
+                if accesses > self.num_entries:
+                    raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
+                next_index = entry.next_index
+                self._release_entry(index)
+                if next_index == index:
+                    break
+                index = next_index
+        head_entry.elements[:] = self._blank_row
+        head_entry.valid = 0
         head_entry.next_index = head
         return accesses
 
     def free_list(self, head: int) -> int:
         """Release every entry of the list; returns accesses."""
+        entries = self._entries
         accesses = 0
-        for index in list(self._walk(head)):
+        index = head
+        while True:
+            entry = entries[index]
+            if not entry.in_use:
+                raise ValueError(f"{self.name}: list head {head} references a free entry")
             accesses += 1
+            if accesses > self.num_entries:
+                raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
+            next_index = entry.next_index
             self._release_entry(index)
-        return accesses
+            if next_index == index:
+                return accesses
+            index = next_index
 
     def length(self, head: int) -> int:
         """Number of valid elements in the list (no access accounting)."""
@@ -263,21 +310,6 @@ class ListArray:
                 raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
             if entry.next_index == index:
                 return
-            index = entry.next_index
-
-    def _tail_index(self, head: int) -> int:
-        entries = self._entries
-        index = head
-        visited = 0
-        while True:
-            entry = entries[index]
-            if not entry.in_use:
-                raise ValueError(f"{self.name}: list head {head} references a free entry")
-            visited += 1
-            if entry.next_index == index:
-                return index
-            if visited > self.num_entries:
-                raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
             index = entry.next_index
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

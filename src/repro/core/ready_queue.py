@@ -29,13 +29,16 @@ class ReadyQueue:
 
     def push(self, task_id: int) -> None:
         """Append a newly ready task ID."""
-        if len(self._queue) >= self.capacity:
+        queue = self._queue
+        if len(queue) >= self.capacity:
             raise DMUProtocolError(
                 "Ready Queue overflow: more ready tasks than in-flight task entries"
             )
-        self._queue.append(task_id)
+        queue.append(task_id)
         self.total_pushes += 1
-        self.peak_occupancy = max(self.peak_occupancy, len(self._queue))
+        size = len(queue)
+        if size > self.peak_occupancy:
+            self.peak_occupancy = size
 
     def pop(self) -> Optional[int]:
         """Remove and return the oldest ready task ID (None when empty)."""

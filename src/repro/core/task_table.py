@@ -7,23 +7,44 @@ and dependence list in the corresponding list arrays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from ..errors import DMUProtocolError
 
 
-@dataclass
 class TaskTableEntry:
-    """One in-flight task tracked by the DMU."""
+    """One in-flight task tracked by the DMU.
 
-    descriptor_address: int
-    predecessor_count: int = 0
-    successor_count: int = 0
-    successor_list: int = -1
-    dependence_list: int = -1
-    creation_complete: bool = False
-    valid: bool = True
+    A ``__slots__`` class (one is allocated per ``create_task`` ISA
+    instruction; the generated dataclass ``__init__`` was measurable there).
+    """
+
+    __slots__ = ("descriptor_address", "predecessor_count", "successor_count",
+                 "successor_list", "dependence_list", "creation_complete", "valid")
+
+    def __init__(
+        self,
+        descriptor_address: int,
+        predecessor_count: int = 0,
+        successor_count: int = 0,
+        successor_list: int = -1,
+        dependence_list: int = -1,
+        creation_complete: bool = False,
+        valid: bool = True,
+    ) -> None:
+        self.descriptor_address = descriptor_address
+        self.predecessor_count = predecessor_count
+        self.successor_count = successor_count
+        self.successor_list = successor_list
+        self.dependence_list = dependence_list
+        self.creation_complete = creation_complete
+        self.valid = valid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskTableEntry(descriptor_address={self.descriptor_address:#x}, "
+            f"predecessors={self.predecessor_count}, successors={self.successor_count})"
+        )
 
 
 class TaskTable:
@@ -52,12 +73,19 @@ class TaskTable:
         self.peak_occupancy = max(self.peak_occupancy, self._occupancy)
 
     def get(self, task_id: int) -> TaskTableEntry:
-        """Read the entry for ``task_id``."""
-        self._check_id(task_id)
-        entry = self._entries[task_id]
-        if entry is None:
+        """Read the entry for ``task_id``.
+
+        Called several times per ISA instruction, so the bounds check is
+        inlined rather than delegated to :meth:`_check_id`.
+        """
+        if 0 <= task_id < self.num_entries:
+            entry = self._entries[task_id]
+            if entry is not None:
+                return entry
             raise DMUProtocolError(f"Task Table entry {task_id} is not valid")
-        return entry
+        raise DMUProtocolError(
+            f"task id {task_id} out of range [0, {self.num_entries})"
+        )
 
     def free(self, task_id: int) -> None:
         """Invalidate the entry for ``task_id`` (finish_task)."""
@@ -68,8 +96,11 @@ class TaskTable:
         self._occupancy -= 1
 
     def is_valid(self, task_id: int) -> bool:
-        self._check_id(task_id)
-        return self._entries[task_id] is not None
+        if 0 <= task_id < self.num_entries:
+            return self._entries[task_id] is not None
+        raise DMUProtocolError(
+            f"task id {task_id} out of range [0, {self.num_entries})"
+        )
 
     def _check_id(self, task_id: int) -> None:
         if not (0 <= task_id < self.num_entries):

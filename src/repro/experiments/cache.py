@@ -85,7 +85,29 @@ def canonical_run_key(
 
 
 class ResultCache:
-    """On-disk store of serialized simulation results, one JSON file per key."""
+    """On-disk store of serialized simulation results, one JSON file per key.
+
+    Layout and behavioral guarantees (relied on by the sharded campaign
+    layer and documented in ``docs/architecture.md``):
+
+    * ``<directory>/<key[:2]>/<key>.json`` — two-level fan-out; entry
+      enumeration is pinned to that shape, so auxiliary data (shard
+      manifests under ``manifests/``) can live inside the cache directory
+      without being mistaken for entries.
+    * **Atomic writes** — every put is tmp + rename, so a reader (or a
+      crashed writer) never observes a torn entry; ``CACHE_FORMAT_VERSION``
+      gates stale layouts on read.
+    * **LRU pruning** — :meth:`get` refreshes the entry's mtime and
+      :meth:`prune` evicts oldest-mtime first (deterministic key order on
+      ties), so a result the campaign just used is never the next evicted.
+    * **Byte-preserving union** — :meth:`merge_from` copies entry files
+      verbatim, which is what keeps shard merges byte-identical to serial
+      runs (see ``docs/determinism.md``).
+
+    Serialization is ``SimulationResult.to_dict`` / ``from_dict``; timeline
+    intervals and per-task instances are intentionally not persisted (the
+    totals and finished-task count are).
+    """
 
     def __init__(self, directory: Union[str, pathlib.Path]) -> None:
         self.directory = pathlib.Path(directory)

@@ -148,7 +148,29 @@ def _simulate_entry(payload: Dict[str, object]) -> Tuple[str, Dict[str, object]]
 
 
 class CampaignEngine:
-    """Runs, parallelizes, memoizes and persists benchmark simulations."""
+    """Runs, parallelizes, memoizes and persists benchmark simulations.
+
+    The engine is the single entry point between the experiment harnesses
+    and the simulator (``docs/architecture.md`` shows the layering):
+
+    * **Identity** — every :class:`RunRequest` resolves to a canonical
+      SHA-256 run key over the full configuration and workload parameters
+      (:func:`repro.experiments.cache.canonical_run_key`); the key is the
+      memo key, the disk-cache filename and the shard-ownership input.
+    * **Memoization** — results are cached in-process and, with
+      ``cache_dir``, in a :class:`~repro.experiments.cache.ResultCache`
+      (optionally budgeted via ``cache_max_bytes``); reruns simulate only
+      what is missing.
+    * **Parallelism** — :meth:`run_many` fans uncached runs over a
+      ``multiprocessing.Pool`` (``jobs > 1``) and commits worker results in
+      key-sorted order, so parallel output is byte-identical to serial
+      (``docs/determinism.md``).  Worker failures surface as
+      :class:`CampaignRunError` markers carrying the key and workload
+      parameters, never raw pool tracebacks.
+    * **Program reuse** — identical workload points share one immutable
+      built :class:`~repro.runtime.task.TaskProgram` (scheduler and
+      runtime sweeps re-simulate the same program object).
+    """
 
     def __init__(
         self,
@@ -177,10 +199,51 @@ class CampaignEngine:
         #: :meth:`prune_disk_cache`.
         self.cache_max_bytes = cache_max_bytes
         self._memo: Dict[str, SimulationResult] = {}
+        #: Built task programs keyed by their workload parameters.  Sweeps
+        #: that vary only the runtime/scheduler/DMU (every scheduler figure,
+        #: the runtime-comparison figures) re-simulate the *same* immutable
+        #: program, so rebuilding it per run was pure overhead.  Bounded FIFO
+        #: (workload sweeps such as the granularity figures produce many
+        #: distinct programs; keys are tiny but programs are not).
+        self._program_cache: Dict[tuple, object] = {}
         self.simulations_run = 0
         self.memory_hits = 0
         self.disk_hits = 0
         self.cache_evictions = 0
+
+    _PROGRAM_CACHE_LIMIT = 16
+
+    def _build_program(
+        self,
+        benchmark: str,
+        granularity: Optional[int],
+        workload_runtime: Optional[str],
+    ):
+        """Build (or reuse) the task program for one workload point.
+
+        Safe to share across simulations: :class:`TaskProgram` and everything
+        it references (regions, definitions, dependence specs) are immutable;
+        all per-run state lives in the :class:`TaskInstance` objects the
+        runtime materializes from the definitions.  Workload generation is
+        deterministic in the key parameters, so a cached program is
+        indistinguishable from a rebuilt one.
+        """
+        key = (benchmark, self.scale, granularity, workload_runtime, self.seed)
+        program = self._program_cache.get(key)
+        if program is None:
+            workload = create_workload(
+                benchmark,
+                scale=self.scale,
+                granularity=granularity,
+                runtime=workload_runtime,
+                seed=self.seed,
+            )
+            program = workload.build_program()
+            cache = self._program_cache
+            if len(cache) >= self._PROGRAM_CACHE_LIMIT:
+                cache.pop(next(iter(cache)))
+            cache[key] = program
+        return program
 
     # ------------------------------------------------------------------ resolution
     def config_for(
@@ -341,14 +404,9 @@ class CampaignEngine:
     def _simulate(self, resolved: ResolvedRun) -> SimulationResult:
         """Run one simulation in-process."""
         request = resolved.request
-        workload = create_workload(
-            request.benchmark,
-            scale=self.scale,
-            granularity=request.granularity,
-            runtime=resolved.workload_runtime,
-            seed=self.seed,
+        program = self._build_program(
+            request.benchmark, request.granularity, resolved.workload_runtime
         )
-        program = workload.build_program()
         if self.verbose:  # pragma: no cover - console feedback only
             print(
                 f"[run] {request.benchmark} runtime={request.runtime} "

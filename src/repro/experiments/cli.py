@@ -47,6 +47,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
+        default=None,
         help="experiment name (e.g. figure_12, table_03) or 'all'",
     )
     parser.add_argument(
@@ -136,6 +138,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in available_experiments():
             print(name)
         return 0
+    if args.experiment is None:
+        parser.error("an experiment name (or 'all') is required unless --list is given")
 
     names = available_experiments() if args.experiment.lower() == "all" else [args.experiment]
     if args.cache_max_bytes is not None and args.cache_dir is None:

@@ -61,13 +61,15 @@ class RuntimeSystem(abc.ABC):
         self.engine = engine
         self.noc = noc
         self.scheduler = scheduler
-        self.pool = ReadyPool(scheduler)
+        #: The pool owns the worker wake-up channel: every push notifies it
+        #: (as one batched drain entry per wake-up window — see
+        #: :mod:`repro.runtime.ready_pool`).
+        self.pool = ReadyPool(scheduler, engine, name="ready-pool")
         self.runtime_lock = Lock(engine, "runtime-lock")
         #: Reusable ``Acquire(runtime_lock)`` command: the command object is
         #: immutable and yielded thousands of times per simulation, so the
         #: runtimes share one instance instead of allocating per acquisition.
         self.acquire_runtime_lock = Acquire(self.runtime_lock)
-        self.wake_channel = NotificationEvent(engine, "ready-pool")
         self._factory = TaskInstanceFactory()
         self.instances_by_descriptor: Dict[int, TaskInstance] = {}
         self.all_instances: List[TaskInstance] = []
@@ -88,27 +90,34 @@ class RuntimeSystem(abc.ABC):
         """Map a descriptor address returned by the hardware back to its instance."""
         return self.instances_by_descriptor[descriptor_address]
 
+    @property
+    def wake_channel(self) -> NotificationEvent:
+        """The pool's worker wake-up channel (threads hoist this per region)."""
+        return self.pool.wake_channel
+
     def push_ready(
         self,
         instance: TaskInstance,
         producer_core: Optional[int],
         successor_count: int,
     ) -> ReadyEntry:
-        """Insert a ready task into the software pool and wake idle workers."""
+        """Insert a ready task into the software pool.
+
+        The pool itself wakes the idle workers (one batched drain entry per
+        wake-up window); see :mod:`repro.runtime.ready_pool`.
+        """
         instance.mark_ready(self.engine.now)
         instance.producer_core = producer_core
-        entry = self.pool.push(
+        return self.pool.push(
             instance,
             creation_seq=instance.uid,
             successor_count=successor_count,
             producer_core=producer_core,
         )
-        self.wake_channel.notify_all()
-        return entry
 
     def notify_workers(self) -> None:
         """Wake idle workers (used when ready work appears outside the pool)."""
-        self.wake_channel.notify_all()
+        self.pool.notify_waiters()
 
     # ------------------------------------------------------------------ interface
     @abc.abstractmethod
@@ -133,8 +142,13 @@ class RuntimeSystem(abc.ABC):
 
     # ------------------------------------------------------------------ hints / stats
     def work_available_hint(self) -> bool:
-        """Cheap check used by idle workers before attempting a pop."""
-        return self.pool.peek_available()
+        """Cheap check used by idle workers before attempting a pop.
+
+        Reads the pool's public mirrored ``size`` counter directly instead
+        of delegating to :meth:`ReadyPool.peek_available`: idle workers run
+        this once per wake-up and the extra frame was measurable.
+        """
+        return self.pool.size > 0
 
     @property
     def dmu(self) -> Optional["DependenceManagementUnit"]:

@@ -38,8 +38,9 @@ class CarbonRuntime(RuntimeSystem):
     def __init__(self, config, scheduler, engine, noc) -> None:
         super().__init__(config, scheduler, engine, noc)
         # Carbon's scheduling policy is fixed in hardware: ignore the
-        # configured software scheduler and use a FIFO pool.
-        self.pool = ReadyPool(FifoScheduler())
+        # configured software scheduler and use a FIFO pool.  The replacement
+        # pool owns the wake channel, exactly like the one it replaces.
+        self.pool = ReadyPool(FifoScheduler(), engine, name="carbon-queue")
         self.tracker = DependenceTracker()
         # Fixed per-operation costs hoisted out of the per-yield hot path.
         self._alloc_cycles = self.costs.sw_task_alloc_cycles()

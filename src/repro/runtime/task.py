@@ -46,68 +46,140 @@ class AccessMode(enum.Enum):
         return self in (AccessMode.IN, AccessMode.INOUT)
 
 
-@dataclass(frozen=True)
 class DependenceSpec:
     """One ``depend(...)`` clause: a memory region and an access direction.
 
     ``direction`` and ``is_output`` are precomputed at construction: they are
     consulted once per dependence per task registration (an inner loop of
     every runtime model) and the enum properties were measurable there.
+
+    A plain ``__slots__`` class rather than a frozen dataclass (the
+    generated dataclass machinery was measurable in workload builds), but
+    still **enforced immutable**: built programs are shared across
+    simulations by the campaign engine's program cache, so a mutation here
+    would leak state between runs and break the byte-identity contract.
+    Equality and hashing mirror the old frozen dataclass: by
+    ``(address, size, mode)``.
     """
 
-    address: int
-    size: int
-    mode: AccessMode
-    direction: str = field(init=False, compare=False, repr=False)
-    is_output: bool = field(init=False, compare=False, repr=False)
+    __slots__ = ("address", "size", "mode", "direction", "is_output")
 
-    def __post_init__(self) -> None:
-        if self.address < 0:
-            raise InvalidProgramError(f"negative dependence address: {self.address:#x}")
-        if self.size <= 0:
-            raise InvalidProgramError(f"dependence size must be positive, got {self.size}")
+    def __init__(self, address: int, size: int, mode: AccessMode) -> None:
+        if address < 0:
+            raise InvalidProgramError(f"negative dependence address: {address:#x}")
+        if size <= 0:
+            raise InvalidProgramError(f"dependence size must be positive, got {size}")
+        init = object.__setattr__
+        init(self, "address", address)
+        init(self, "size", size)
+        init(self, "mode", mode)
         # The ``add_dependence`` ISA instruction only distinguishes inputs
         # from outputs; an ``inout`` access behaves as an output (it both
         # waits for the previous writer/readers and becomes the new last
         # writer).
-        output = self.mode.is_output
-        object.__setattr__(self, "is_output", output)
-        object.__setattr__(self, "direction", "out" if output else "in")
+        output = mode.is_output
+        init(self, "is_output", output)
+        init(self, "direction", "out" if output else "in")
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"DependenceSpec is immutable (programs are shared across "
+            f"simulations); cannot set {name!r}"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DependenceSpec):
+            return (
+                self.address == other.address
+                and self.size == other.size
+                and self.mode is other.mode
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.address, self.size, self.mode))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DependenceSpec(address={self.address:#x}, size={self.size}, mode={self.mode})"
 
 
-@dataclass(frozen=True)
 class TaskDefinition:
-    """Static description of one task, as produced by a workload generator."""
+    """Static description of one task, as produced by a workload generator.
 
-    uid: int
-    name: str
-    kind: str
-    work_us: float
-    dependences: Tuple[DependenceSpec, ...] = ()
-    memory_sensitivity: float = 0.0
-    creation_work_us: float = 0.0
+    A plain ``__slots__`` class, **enforced immutable** (see
+    :class:`DependenceSpec` for why — built programs are shared across
+    simulations).  ``all_addresses`` and ``input_addresses`` are
+    precomputed: the locality model reads ``all_addresses`` on every task
+    execution and the old per-call tuple rebuild was measurable.
+    """
 
-    def __post_init__(self) -> None:
-        if self.work_us < 0:
-            raise InvalidProgramError(f"task {self.name}: negative work_us")
-        if not (0.0 <= self.memory_sensitivity <= 1.0):
-            raise InvalidProgramError(f"task {self.name}: memory_sensitivity out of [0, 1]")
-        if self.creation_work_us < 0:
-            raise InvalidProgramError(f"task {self.name}: negative creation_work_us")
+    __slots__ = ("uid", "name", "kind", "work_us", "dependences",
+                 "memory_sensitivity", "creation_work_us",
+                 "all_addresses", "input_addresses")
+
+    def __init__(
+        self,
+        uid: int,
+        name: str,
+        kind: str,
+        work_us: float,
+        dependences: Tuple[DependenceSpec, ...] = (),
+        memory_sensitivity: float = 0.0,
+        creation_work_us: float = 0.0,
+    ) -> None:
+        if work_us < 0:
+            raise InvalidProgramError(f"task {name}: negative work_us")
+        if not (0.0 <= memory_sensitivity <= 1.0):
+            raise InvalidProgramError(f"task {name}: memory_sensitivity out of [0, 1]")
+        if creation_work_us < 0:
+            raise InvalidProgramError(f"task {name}: negative creation_work_us")
+        init = object.__setattr__
+        init(self, "uid", uid)
+        init(self, "name", name)
+        init(self, "kind", kind)
+        init(self, "work_us", work_us)
+        dependences = tuple(dependences)
+        init(self, "dependences", dependences)
+        init(self, "memory_sensitivity", memory_sensitivity)
+        init(self, "creation_work_us", creation_work_us)
+        #: Every dependence address of the task (used by the locality model).
+        init(self, "all_addresses", tuple([d.address for d in dependences]))
+        #: Addresses this task reads (IN and INOUT dependences).
+        init(
+            self,
+            "input_addresses",
+            tuple([d.address for d in dependences if d.mode.is_input]),
+        )
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(
+            f"TaskDefinition is immutable (programs are shared across "
+            f"simulations); cannot set {name!r}"
+        )
 
     @property
     def num_dependences(self) -> int:
         return len(self.dependences)
 
-    @property
-    def input_addresses(self) -> Tuple[int, ...]:
-        """Addresses this task reads (IN and INOUT dependences)."""
-        return tuple(d.address for d in self.dependences if d.mode.is_input)
+    def _key(self) -> tuple:
+        return (
+            self.uid, self.name, self.kind, self.work_us,
+            self.dependences, self.memory_sensitivity, self.creation_work_us,
+        )
 
-    @property
-    def all_addresses(self) -> Tuple[int, ...]:
-        """Every dependence address of the task (used by the locality model)."""
-        return tuple(d.address for d in self.dependences)
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TaskDefinition):
+            return self._key() == other._key()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskDefinition(uid={self.uid}, name={self.name!r}, kind={self.kind!r}, "
+            f"work_us={self.work_us}, {len(self.dependences)} dependences)"
+        )
 
 
 class TaskState(enum.Enum):

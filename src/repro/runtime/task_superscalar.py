@@ -43,6 +43,11 @@ class TaskSuperscalarRuntime(RuntimeSystem):
         self._alloc_cycles = self.costs.tdm_task_alloc_cycles()
         self._finish_cycles = self.costs.tdm_finish_cycles()
         self._hw_queue_cycles = self.costs.hw_queue_cycles()
+        # NoC round trips are pure per-core constants; the table lookup
+        # replaces a bounds-checking method call on every ISA instruction.
+        self._noc_round_trip = tuple(
+            noc.round_trip_cycles(core) for core in range(config.chip.num_cores)
+        )
 
     @property
     def dmu(self) -> DependenceManagementUnit:
@@ -53,22 +58,53 @@ class TaskSuperscalarRuntime(RuntimeSystem):
 
     # ------------------------------------------------------------------ issue helper
     def _issue(self, thread: "SimThread", operation: Callable[[], object]) -> RuntimeGenerator:
+        """Issue one ISA instruction against the DMU and return its result.
+
+        The hot call sites (:meth:`create_task`, :meth:`try_get_task`,
+        :meth:`finish_task`) inline this sequence — one less generator and
+        one less ``send()`` frame per instruction — falling back to
+        :meth:`_finish_blocked_issue` for the cold full-structure path; keep
+        the inline copies in sync with this reference.  Unlike the TDM
+        runtime, blocked stalls here charge no post-wait NoC crossing (the
+        hardware queue replays the instruction internally).
+        """
         yield self._issue_cycles
-        yield self.noc.round_trip_cycles(thread.core_id)
+        yield self._noc_round_trip[thread.core_id]
+        space_target = self.space_freed.wait_target()
+        yield self._acquire_dmu_lock
+        result = operation()
+        if result.blocked:
+            result = yield from self._finish_blocked_issue(thread, operation, space_target)
+        else:
+            yield result.cycles
+            self.dmu_lock.release(thread.process)
+        return result
+
+    def _finish_blocked_issue(
+        self, thread: "SimThread", operation: Callable[[], object], space_target
+    ) -> RuntimeGenerator:
+        """Cold path of :meth:`_issue`: wait for space, then retry.
+
+        Entered with the DMU lock held and ``operation()`` just blocked;
+        ``space_target`` was captured before the lock acquisition so no
+        space-freed notification is lost to the lock wait.
+        """
+        process = thread.process
+        engine = self.engine
+        timeline = thread.timeline
         while True:
+            self.dmu_lock.release(process)
+            self.blocked_instruction_events += 1
+            timeline.begin(Phase.IDLE, engine.now)
+            yield WaitEvent(space_target)
+            timeline.begin(Phase.DEPS, engine.now)
             space_target = self.space_freed.wait_target()
             yield self._acquire_dmu_lock
             result = operation()
             if result.blocked:
-                self.dmu_lock.release(thread.process)
-                self.blocked_instruction_events += 1
-                previous_phase = Phase.DEPS
-                thread.timeline.begin(Phase.IDLE, self.engine.now)
-                yield WaitEvent(space_target)
-                thread.timeline.begin(previous_phase, self.engine.now)
                 continue
             yield result.cycles
-            self.dmu_lock.release(thread.process)
+            self.dmu_lock.release(process)
             return result
 
     # ------------------------------------------------------------------ creation
@@ -76,20 +112,63 @@ class TaskSuperscalarRuntime(RuntimeSystem):
         self, thread: "SimThread", definition: TaskDefinition, region_index: int
     ) -> RuntimeGenerator:
         instance = self.new_instance(definition, region_index)
+        descriptor = instance.descriptor_address
+        # Inlined _issue (see its docstring) for the 2 + num_dependences
+        # instructions every creation issues.
+        dmu = self._dmu
+        dmu_lock = self.dmu_lock
+        process = thread.process
+        issue_cycles = self._issue_cycles
+        round_trip = self._noc_round_trip[thread.core_id]
+        acquire_dmu = self._acquire_dmu_lock
+        space_freed = self.space_freed
+
         yield self._alloc_cycles
-        yield from self._issue(
-            thread, lambda: self._dmu.create_task(instance.descriptor_address)
-        )
-        for dependence in definition.dependences:
-            yield from self._issue(
-                thread,
-                lambda dep=dependence: self._dmu.add_dependence(
-                    instance.descriptor_address, dep.address, dep.size, dep.direction
-                ),
+        yield issue_cycles
+        yield round_trip
+        space_target = space_freed.wait_target()
+        yield acquire_dmu
+        result = dmu.create_task(descriptor)
+        if result.blocked:
+            yield from self._finish_blocked_issue(
+                thread, lambda: dmu.create_task(descriptor), space_target
             )
-        completion = yield from self._issue(
-            thread, lambda: self._dmu.complete_creation(instance.descriptor_address)
-        )
+        else:
+            yield result.cycles
+            dmu_lock.release(process)
+
+        for dependence in definition.dependences:
+            yield issue_cycles
+            yield round_trip
+            space_target = space_freed.wait_target()
+            yield acquire_dmu
+            result = dmu.add_dependence(
+                descriptor, dependence.address, dependence.size, dependence.direction
+            )
+            if result.blocked:
+                yield from self._finish_blocked_issue(
+                    thread,
+                    lambda dep=dependence: dmu.add_dependence(
+                        descriptor, dep.address, dep.size, dep.direction
+                    ),
+                    space_target,
+                )
+            else:
+                yield result.cycles
+                dmu_lock.release(process)
+
+        yield issue_cycles
+        yield round_trip
+        space_target = space_freed.wait_target()
+        yield acquire_dmu
+        completion = dmu.complete_creation(descriptor)
+        if completion.blocked:
+            completion = yield from self._finish_blocked_issue(
+                thread, lambda: dmu.complete_creation(descriptor), space_target
+            )
+        else:
+            yield completion.cycles
+            dmu_lock.release(process)
         if completion.became_ready:
             instance.mark_ready(self.engine.now)
             self.notify_workers()
@@ -97,10 +176,24 @@ class TaskSuperscalarRuntime(RuntimeSystem):
 
     # ------------------------------------------------------------------ scheduling
     def try_get_task(self, thread: "SimThread") -> RuntimeGenerator:
-        if self._dmu.ready_tasks == 0:
+        dmu = self._dmu
+        if dmu.ready_tasks == 0:
             return None
         yield self._hw_queue_cycles
-        result = yield from self._issue(thread, self._dmu.get_ready_task)
+        # Inlined _issue (see its docstring): workers pop straight from the
+        # hardware Ready Queue, so this is the hottest instruction path.
+        yield self._issue_cycles
+        yield self._noc_round_trip[thread.core_id]
+        space_target = self.space_freed.wait_target()
+        yield self._acquire_dmu_lock
+        result = dmu.get_ready_task()
+        if result.blocked:
+            result = yield from self._finish_blocked_issue(
+                thread, dmu.get_ready_task, space_target
+            )
+        else:
+            yield result.cycles
+            self.dmu_lock.release(thread.process)
         if result.is_null:
             return None
         instance = self.resolve_descriptor(result.descriptor_address)
@@ -117,10 +210,22 @@ class TaskSuperscalarRuntime(RuntimeSystem):
 
     # ------------------------------------------------------------------ finalization
     def finish_task(self, thread: "SimThread", instance: TaskInstance) -> RuntimeGenerator:
+        descriptor = instance.descriptor_address
+        dmu = self._dmu
         yield self._finish_cycles
-        result = yield from self._issue(
-            thread, lambda: self._dmu.finish_task(instance.descriptor_address)
-        )
+        # Inlined _issue (see its docstring): one finish instruction per task.
+        yield self._issue_cycles
+        yield self._noc_round_trip[thread.core_id]
+        space_target = self.space_freed.wait_target()
+        yield self._acquire_dmu_lock
+        result = dmu.finish_task(descriptor)
+        if result.blocked:
+            result = yield from self._finish_blocked_issue(
+                thread, lambda: dmu.finish_task(descriptor), space_target
+            )
+        else:
+            yield result.cycles
+            self.dmu_lock.release(thread.process)
         instance.mark_finished(self.engine.now)
         self.tasks_finished += 1
         self.space_freed.notify_all()

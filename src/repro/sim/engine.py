@@ -10,23 +10,48 @@ as generators that yield commands.  A command is either a bare non-negative
 Hot-path design (this is the innermost loop of every simulation, executed
 once per event, so it avoids every avoidable allocation and call):
 
-* Heap entries are plain ``(time, seq, process, value)`` tuples resumed
-  directly by the run loop — no per-event closure is allocated.  Entries
-  with ``process=None`` carry a zero-argument callback in ``value`` (the
-  public :meth:`Engine.schedule` API).
+* Timed events live in a **two-tier queue**: a bucketed near-future time
+  wheel covering the next :data:`WHEEL_SPAN` cycles, backed by a binary heap
+  for far-future events.  An event ``delta < WHEEL_SPAN`` cycles away is a
+  plain ``list.append`` into the bucket for its cycle; only long sleeps
+  (task bodies, large runtime costs) pay the ``heappush``.  When the clock
+  advances, heap events that fall inside the new window migrate into the
+  wheel, so the run loop never merges against the heap directly.
+* Buckets hold ``(seq, target, value)`` entries resumed directly by the run
+  loop — no per-event closure is allocated, and every target exposes the
+  same ``resume(value)`` shape (a process, a batched waiter drain, or the
+  :class:`_CallbackTarget` wrapper of the public :meth:`Engine.schedule`
+  API), so dispatch is uniform.  Within a bucket, append order *is* global
+  sequence order (the shared counter is allocated in scheduling order and a
+  bucket only ever collects entries for one cycle), so a bucket needs no
+  sorting — and because heap-to-wheel migration happens eagerly on every
+  clock advance, migrated entries are always appended before any same-cycle
+  entry is scheduled directly, keeping that invariant intact.
+* The next nonempty bucket is found in O(log #active-buckets) through a
+  small auxiliary heap of *bucket activation times* (one entry per bucket
+  that became nonempty, not one per event), so clustered events — the
+  common case: many processes waking on the same cycle — cost one heap
+  entry total instead of one each.
 * Zero-delay wakeups (event triggers, lock grants, process starts) never
-  touch the heap: they are appended to a FIFO *ready deque* as
-  ``(seq, process, value)`` and merged with the heap by global sequence
-  number, so the observable event order is identical to a single global
-  queue — two runs of the same configuration stay bit-identical, and so
-  does a run against the pre-deque kernel.
+  touch the wheel or the heap: they are appended to a FIFO *ready deque* as
+  ``(seq, process, value)`` and merged with the current bucket by global
+  sequence number, so the observable event order is identical to a single
+  global queue — two runs of the same configuration stay bit-identical, and
+  so does a run against the pre-wheel kernel.
+* A broadcast event trigger with several waiters enqueues **one** batched
+  drain entry (see :class:`repro.sim.events.SimEvent`) instead of one deque
+  entry per waiter; the drain resumes its waiters back to back in
+  registration order, which is exactly the order the per-waiter entries
+  produced.
 * Command dispatch in :meth:`Process.resume` is keyed on the exact command
   type (``type(command) is ...``) with the bare-int timeout checked first;
   the ``isinstance`` chain survives only in the cold error/subclass path.
 
 Determinism: events scheduled at the same time are processed in scheduling
 order (a monotonically increasing sequence number breaks ties), so two runs
-of the same configuration produce bit-identical results.
+of the same configuration produce bit-identical results.  See
+``docs/determinism.md`` for the contract and ``docs/architecture.md`` for a
+walk-through of the queue design.
 """
 
 from __future__ import annotations
@@ -40,6 +65,33 @@ from ..errors import DeadlockError, SimulationError
 from .events import Acquire, SimEvent, Timeout, WaitEvent
 
 ProcessBody = Generator[Any, Any, Any]
+
+
+class _CallbackTarget:
+    """Adapter giving a plain callback the ``resume(value)`` shape.
+
+    Queue entries always carry a target with a ``resume`` method (a
+    :class:`Process`, a :class:`~repro.sim.events._WaiterBatch`, or this
+    wrapper for :meth:`Engine.schedule` callbacks), so the run loop performs
+    a single uniform dispatch with no per-event type check.  Callbacks are
+    rare (cold control paths), processes are the per-event common case.
+    """
+
+    __slots__ = ("callback",)
+
+    def __init__(self, callback: Callable[[], None]) -> None:
+        self.callback = callback
+
+    def resume(self, value: Any) -> None:
+        self.callback()
+
+#: Width of the near-future time wheel in cycles.  Chosen from the measured
+#: delay distribution of the fig02/fig12 smoke set: ~78% of all timed events
+#: are scheduled less than 128 cycles ahead (runtime busy-cycle charges and
+#: NoC round trips), while task bodies (thousands of cycles) stay on the
+#: far-future heap.  Must be a power of two: bucket index is ``time & MASK``.
+WHEEL_SPAN = 128
+WHEEL_MASK = WHEEL_SPAN - 1
 
 
 class Process:
@@ -95,7 +147,14 @@ class Process:
                 engine = self.engine
                 seq = engine._seq
                 engine._seq = seq + 1
-                heappush(engine._queue, (engine.now + command, seq, self, None))
+                time = engine.now + command
+                if command < WHEEL_SPAN:
+                    bucket = engine._wheel[time & WHEEL_MASK]
+                    if not bucket:
+                        heappush(engine._bucket_times, time)
+                    bucket.append((seq, self, None))
+                else:
+                    heappush(engine._queue, (time, seq, self, None))
             elif command == 0:
                 self.engine._wake(self, None)
             else:
@@ -108,7 +167,14 @@ class Process:
                 engine = self.engine
                 seq = engine._seq
                 engine._seq = seq + 1
-                heappush(engine._queue, (engine.now + cycles, seq, self, None))
+                time = engine.now + cycles
+                if cycles < WHEEL_SPAN:
+                    bucket = engine._wheel[time & WHEEL_MASK]
+                    if not bucket:
+                        heappush(engine._bucket_times, time)
+                    bucket.append((seq, self, None))
+                else:
+                    heappush(engine._queue, (time, seq, self, None))
             else:
                 self.engine._wake(self, None)
         elif cls is WaitEvent:
@@ -145,7 +211,7 @@ class Process:
             )
         engine = self.engine
         if cycles:
-            heappush(engine._queue, (engine.now + cycles, engine._next_seq(), self, None))
+            engine._schedule_entry(engine.now + cycles, engine._next_seq(), self, None)
         else:
             engine._wake(self, None)
 
@@ -155,9 +221,23 @@ class Process:
 
 
 class Engine:
-    """Discrete-event engine: clock, event queues and process registry."""
+    """Discrete-event engine: clock, the two-tier event queue and the
+    process registry.
 
-    __slots__ = ("now", "_queue", "_ready", "_seq", "_processes", "_live_processes")
+    Pending events live in three places, merged by the run loop into one
+    global ``(time, seq)`` order:
+
+    * ``_wheel`` — :data:`WHEEL_SPAN` buckets of near-future timed events,
+      indexed by ``time & WHEEL_MASK``; ``_bucket_times`` is a min-heap of
+      the times of nonempty buckets (one entry per bucket, not per event).
+    * ``_queue`` — binary heap of far-future timed events; invariant: every
+      entry's time is at least ``now + WHEEL_SPAN`` (events migrate into
+      the wheel whenever the clock advances).
+    * ``_ready`` — FIFO deque of zero-delay wakeups at the current time.
+    """
+
+    __slots__ = ("now", "_queue", "_ready", "_wheel", "_bucket_times", "_seq",
+                 "_processes", "_live_processes")
 
     def __init__(self) -> None:
         #: Current simulation time in cycles (read-only for client code; the
@@ -165,10 +245,18 @@ class Engine:
         #: it is read several times per event by the thread and runtime
         #: models and the descriptor call was measurable.
         self.now = 0
-        #: Timed events: (time, seq, process, value) or (time, seq, None, callback).
+        #: Far-future timed events: (time, seq, target, value),
+        #: time >= now + WHEEL_SPAN.
         self._queue: list = []
-        #: Zero-delay wakeups at the current time: (seq, process, value).
+        #: Zero-delay wakeups at the current time: (seq, target, value).
         self._ready: deque = deque()
+        #: Near-future buckets of (seq, target, value); bucket index is
+        #: time & WHEEL_MASK, so bucket i holds only events for the single
+        #: cycle in [now, now + WHEEL_SPAN) congruent to i.
+        self._wheel: List[list] = [[] for _ in range(WHEEL_SPAN)]
+        #: Min-heap of times of nonempty wheel buckets (the current cycle's
+        #: bucket is examined directly and never appears here).
+        self._bucket_times: list = []
         self._seq = 0
         self._processes: List[Process] = []
         self._live_processes = 0
@@ -183,13 +271,31 @@ class Engine:
         """Resume ``process`` with ``value`` at the current time (FIFO order).
 
         This is the zero-delay fast path used by event triggers, lock grants
-        and process starts; it bypasses the heap entirely while preserving
-        the global scheduling order (the shared sequence counter is the tie
-        breaker the run loop merges on).
+        and process starts; it bypasses the timed queues entirely while
+        preserving the global scheduling order (the shared sequence counter
+        is the tie breaker the run loop merges on).
         """
         seq = self._seq
         self._seq = seq + 1
         self._ready.append((seq, process, value))
+
+    def _schedule_entry(self, time: int, seq: int, target: Any, value: Any) -> None:
+        """Queue a timed entry on the wheel or the far-future heap.
+
+        Cold-path helper shared by :meth:`schedule` (which wraps its callback
+        in :class:`_CallbackTarget`) and command subclasses; the bare-int/
+        :class:`Timeout` dispatch in :meth:`Process.resume` inlines the same
+        logic.  An entry for the *current* cycle goes into the current
+        bucket, which the run loop always examines directly, so its time is
+        never pushed onto ``_bucket_times``.
+        """
+        if time - self.now < WHEEL_SPAN:
+            bucket = self._wheel[time & WHEEL_MASK]
+            if not bucket and time != self.now:
+                heappush(self._bucket_times, time)
+            bucket.append((seq, target, value))
+        else:
+            heappush(self._queue, (time, seq, target, value))
 
     def schedule(self, delay: "int | float", callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` cycles from now.
@@ -202,9 +308,9 @@ class Engine:
         cycles = delay if isinstance(delay, int) else math.floor(delay + 0.5)
         if cycles < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        seq = self._seq
-        self._seq = seq + 1
-        heappush(self._queue, (self.now + cycles, seq, None, callback))
+        self._schedule_entry(
+            self.now + cycles, self._next_seq(), _CallbackTarget(callback), None
+        )
 
     def event(self, name: str = "event") -> SimEvent:
         """Create a new one-shot event bound to this engine."""
@@ -220,6 +326,15 @@ class Engine:
 
     def _process_finished(self, process: Process) -> None:
         self._live_processes -= 1
+
+    def _has_pending_events(self) -> bool:
+        """True while any timed or zero-delay event is queued."""
+        return bool(
+            self._ready
+            or self._bucket_times
+            or self._queue
+            or self._wheel[self.now & WHEEL_MASK]
+        )
 
     # ------------------------------------------------------------------ registry
     @property
@@ -256,39 +371,82 @@ class Engine:
         queue = self._queue
         ready = self._ready
         popleft = ready.popleft
+        wheel = self._wheel
+        times = self._bucket_times
         now = self.now
+        bucket = wheel[now & WHEEL_MASK]
+        bi = 0
         while True:
-            if ready:
-                # Ready entries fire at the current time; a heap event at the
-                # same time with a smaller sequence number was scheduled
-                # earlier and must run first.
-                if queue:
-                    head = queue[0]
-                    if head[0] == now and head[1] < ready[0][0]:
-                        entry = heappop(queue)
-                        target = entry[2]
-                        if target is None:
-                            entry[3]()
-                        else:
-                            target.resume(entry[3])
-                        continue
-                _seq, process, value = popleft()
-                process.resume(value)
-                continue
-            if not queue:
-                break
-            entry = heappop(queue)
-            time = entry[0]
-            if until is not None and time > until:
-                heappush(queue, entry)
-                self.now = until
-                return until
-            self.now = now = time
-            target = entry[2]
-            if target is None:
-                entry[3]()
+            # ---- drain the current cycle: merge bucket and ready by seq.
+            # Bucket entries scheduled before this cycle began all precede
+            # any ready entry (smaller seq); the compare only matters for
+            # same-cycle schedule() appends, which land behind ready
+            # entries created earlier during this cycle.
+            while True:
+                if bi < len(bucket):
+                    if ready and ready[0][0] < bucket[bi][0]:
+                        entry = popleft()
+                    else:
+                        entry = bucket[bi]
+                        bi += 1
+                elif ready:
+                    entry = popleft()
+                else:
+                    break
+                entry[1].resume(entry[2])
+            if bi:
+                bucket.clear()
+                bi = 0
+
+            # ---- advance the clock to the next event time.  Bucket times
+            # are always nearer than the far-future heap (its entries are
+            # at least WHEEL_SPAN cycles out by invariant).
+            if times:
+                time = times[0]
+            elif queue:
+                time = queue[0][0]
             else:
-                target.resume(entry[3])
+                break
+            if until is not None and time > until:
+                # Stop the clock at the bound, but keep the heap/wheel
+                # invariant so a later run() call resumes exactly here.
+                self.now = until
+                horizon = until + WHEEL_SPAN
+                while queue and queue[0][0] < horizon:
+                    entry = heappop(queue)
+                    etime = entry[0]
+                    slot = wheel[etime & WHEEL_MASK]
+                    if not slot:
+                        heappush(times, etime)
+                    slot.append((entry[1], entry[2], entry[3]))
+                return until
+            if times:
+                heappop(times)
+            self.now = now = time
+
+            # ---- migrate far-future events that entered the new window.
+            # Heap pops come out in (time, seq) order, and any later direct
+            # append to the same bucket carries a larger seq, so buckets
+            # stay seq-sorted without ever sorting.
+            horizon = now + WHEEL_SPAN
+            while queue and queue[0][0] < horizon:
+                entry = heappop(queue)
+                etime = entry[0]
+                slot = wheel[etime & WHEEL_MASK]
+                if not slot and etime != now:
+                    heappush(times, etime)
+                slot.append((entry[1], entry[2], entry[3]))
+            bucket = wheel[now & WHEEL_MASK]
+
+            # ---- fast drain: every entry queued for this cycle before the
+            # clock advanced precedes anything a resume can enqueue now, so
+            # no merge check is needed until the pre-advance entries are
+            # exhausted (the general merge above handles the stragglers).
+            pre_advance = len(bucket)
+            while bi < pre_advance:
+                entry = bucket[bi]
+                bi += 1
+                entry[1].resume(entry[2])
         if self._live_processes > 0:
             blocked = [p.name for p in self._processes if not p.finished]
             raise DeadlockError(
@@ -300,7 +458,7 @@ class Engine:
     def run_all(self, max_cycles: Optional[int] = None) -> int:
         """Run to completion, optionally enforcing a cycle budget."""
         final = self.run(until=max_cycles)
-        if max_cycles is not None and (self._queue or self._ready):
+        if max_cycles is not None and self._has_pending_events():
             raise SimulationError(
                 f"simulation exceeded the cycle budget of {max_cycles} cycles"
             )

@@ -78,6 +78,29 @@ class WaitEvent(Command):
         return f"WaitEvent({self.event.name!r})"
 
 
+class _WaiterBatch:
+    """One ready-queue entry that resumes a whole waiter list in order.
+
+    Triggering an event with ``n`` waiters used to append ``n`` entries to
+    the engine's ready deque — the ready-pool wake-up storm: every push
+    woke every idle worker through its own queue entry.  A batch entry
+    claims a single sequence number (the position the *first* waiter would
+    have held) and resumes the waiters back to back when the run loop
+    reaches it.  The observable order is unchanged: the waiters run in
+    registration order, before anything enqueued after the trigger, exactly
+    as the per-waiter entries did.
+    """
+
+    __slots__ = ("waiters",)
+
+    def __init__(self, waiters: list["Process"]) -> None:
+        self.waiters = waiters
+
+    def resume(self, value: Any) -> None:
+        for process in self.waiters:
+            process.resume(value)
+
+
 class SimEvent:
     """One-shot broadcast event.
 
@@ -114,9 +137,11 @@ class SimEvent:
     def trigger(self, value: Any = None) -> None:
         """Fire the event, resuming every waiter at the current time.
 
-        Waiters are queued on the engine's zero-delay ready deque (in
-        registration order) rather than the time heap, so triggering never
-        allocates closures or pays a heap reorder.
+        A single waiter is queued directly on the engine's zero-delay ready
+        deque; several waiters are queued as **one** batched drain entry
+        (:class:`_WaiterBatch`) that resumes them in registration order.
+        Either way triggering never allocates closures or touches the timed
+        queues, and the batch preserves the per-waiter order exactly.
         """
         if self.triggered:
             return
@@ -126,12 +151,12 @@ class SimEvent:
         callbacks, self._callbacks = self._callbacks, []
         if waiters:
             engine = self.engine
-            ready_append = engine._ready.append
             seq = engine._seq
-            for process in waiters:
-                ready_append((seq, process, value))
-                seq += 1
-            engine._seq = seq
+            engine._seq = seq + 1
+            if len(waiters) == 1:
+                engine._ready.append((seq, waiters[0], value))
+            else:
+                engine._ready.append((seq, _WaiterBatch(waiters), value))
         for callback in callbacks:
             callback(value)
 

@@ -61,6 +61,9 @@ class LocalityModel:
         ]
         self.total_lookups = 0
         self.total_hits = 0.0
+        # Hoisted config reads: execution_cycles runs once per executed task.
+        self._enabled = config.enabled
+        self._max_speedup_fraction = config.max_speedup_fraction
 
     def execution_cycles(
         self,
@@ -75,20 +78,17 @@ class LocalityModel:
         the task is fully memory bound and benefits maximally from reuse,
         0.0 means compute bound (no adjustment).
         """
-        if not self.config.enabled or not addresses or memory_sensitivity <= 0.0:
-            self._record(core_id, addresses)
-            return base_cycles
         tracker = self.trackers[core_id]
+        if not self._enabled or not addresses or memory_sensitivity <= 0.0:
+            tracker.touch(addresses)
+            return base_cycles
         hit_fraction = tracker.hit_fraction(addresses)
         self.total_lookups += 1
         self.total_hits += hit_fraction
-        reduction = self.config.max_speedup_fraction * memory_sensitivity * hit_fraction
+        reduction = self._max_speedup_fraction * memory_sensitivity * hit_fraction
         adjusted = int(round(base_cycles * (1.0 - reduction)))
-        self._record(core_id, addresses)
+        tracker.touch(addresses)
         return max(1, adjusted) if base_cycles > 0 else 0
-
-    def _record(self, core_id: int, addresses: Iterable[int]) -> None:
-        self.trackers[core_id].touch(addresses)
 
     def average_hit_fraction(self) -> float:
         """Mean input hit fraction observed over all executed tasks."""

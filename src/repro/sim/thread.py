@@ -123,8 +123,13 @@ class SimThread:
             wait_command = WaitEvent(done_event)
             while not done_event.triggered:
                 wake_target = wake_channel.wait_target()
-                timeline.begin(Phase.SCHED, engine.now)
+                # The SCHED phase only opens when a pop will actually be
+                # attempted.  On a no-work wake-up the old begin(SCHED)/
+                # begin(IDLE) pair at the same cycle recorded a zero-duration
+                # visit that the timeline discards anyway; skipping it leaves
+                # every phase total identical.
                 if runtime.work_available_hint():
+                    timeline.begin(Phase.SCHED, engine.now)
                     entry = yield from runtime.try_get_task(self)
                 else:
                     entry = None
@@ -162,11 +167,12 @@ class SimThread:
         wait_command = WaitEvent(done_event)
         while not done_event.triggered:
             wake_target = wake_channel.wait_target()
-            timeline.begin(Phase.SCHED, engine.now)
             # Skip the generator round trip entirely when no work is visible;
             # try_get_task performs the same hint check first, so the timing
-            # and pool behaviour are identical either way.
+            # and pool behaviour are identical either way.  SCHED opens only
+            # when a pop is attempted (see the inlined loop in run()).
             if runtime.work_available_hint():
+                timeline.begin(Phase.SCHED, engine.now)
                 entry = yield from runtime.try_get_task(self)
             else:
                 entry = None

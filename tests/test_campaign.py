@@ -411,3 +411,37 @@ class TestRunManyFailureWrapping:
         (key,) = failures
         assert key not in engine.disk_cache
         assert engine.run_many([RunRequest("qr", "software")], failures={}) == [None]
+
+
+class TestProgramCache:
+    """The engine reuses immutable built programs across simulations."""
+
+    def test_same_workload_point_reuses_one_program(self):
+        engine = CampaignEngine(scale=0.05)
+        first = engine._build_program("cholesky", None, "software")
+        again = engine._build_program("cholesky", None, "software")
+        assert first is again, "identical workload points must share the program"
+        other = engine._build_program("cholesky", None, "tdm")
+        assert other is not first, "different workload runtimes must not alias"
+        explicit = engine._build_program("cholesky", 7, None)
+        assert explicit is not first, "explicit granularities must not alias"
+
+    def test_cache_is_bounded(self):
+        engine = CampaignEngine(scale=0.05)
+        limit = CampaignEngine._PROGRAM_CACHE_LIMIT
+        for granularity in range(1, limit + 3):
+            engine._build_program("blackscholes", granularity, None)
+        assert len(engine._program_cache) <= limit
+
+    def test_scheduler_sweep_results_match_fresh_programs(self):
+        """Rows computed off a cached program == rows off a fresh build."""
+        shared = SimulationRunner(scale=0.05)
+        rows_shared = []
+        for scheduler in ("fifo", "lifo"):
+            result = shared.run("cholesky", "software", scheduler)
+            rows_shared.append(result.total_cycles)
+        rows_fresh = [
+            SimulationRunner(scale=0.05).run("cholesky", "software", scheduler).total_cycles
+            for scheduler in ("fifo", "lifo")
+        ]
+        assert rows_shared == rows_fresh

@@ -20,8 +20,8 @@ import pytest
 
 from repro.config import default_paper_config
 from repro.errors import SimulationError
-from repro.sim.engine import Engine
-from repro.sim.events import NotificationEvent, Timeout, WaitEvent
+from repro.sim.engine import WHEEL_SPAN, Engine
+from repro.sim.events import NotificationEvent, SimEvent, Timeout, WaitEvent
 from repro.sim.machine import run_simulation
 from repro.sim.timeline import Phase, ThreadTimeline
 from repro.workloads.registry import create_workload
@@ -201,6 +201,193 @@ class TestRunUntilReentry:
         engine.process(body(), name="p")
         engine.run(until=10)
         assert fired == [10]
+
+
+class TestBucketedWheel:
+    """The two-tier queue (near-future wheel + far-future heap) is order-
+    transparent: delays on either side of the WHEEL_SPAN horizon, horizon
+    crossings via run(until), and heap-to-wheel migration must all preserve
+    the single-queue (time, seq) order."""
+
+    def test_delays_across_the_horizon_interleave_by_time_then_seq(self):
+        engine = Engine()
+        trace = []
+        # Delays straddling the wheel horizon, scheduled in one batch: the
+        # far-future heap and the wheel must merge back into time order.
+        delays = [1, WHEEL_SPAN - 1, WHEEL_SPAN, WHEEL_SPAN + 1, 3 * WHEEL_SPAN, 7]
+
+        def worker(tag, delay):
+            yield delay
+            trace.append((engine.now, tag))
+
+        for tag, delay in enumerate(delays):
+            engine.process(worker(tag, delay), name=f"w{tag}")
+        engine.run()
+        assert trace == sorted(trace), "events fired out of (time, seq) order"
+        assert [now for now, _tag in trace] == sorted(delays)
+
+    def test_same_cycle_ties_follow_scheduling_order_across_tiers(self):
+        engine = Engine()
+        trace = []
+
+        def sleeper(tag, first, second):
+            yield first
+            trace.append((engine.now, tag, "a"))
+            yield second
+            trace.append((engine.now, tag, "b"))
+
+        # Both processes reach cycle WHEEL_SPAN + 2: p0 via a far-future
+        # sleep (heap, migrated into the wheel), p1 via two near sleeps
+        # (wheel only).  p0 scheduled its arrival first, so it runs first.
+        engine.process(sleeper("p0", WHEEL_SPAN + 2, 1), name="p0")
+        engine.process(sleeper("p1", 2, WHEEL_SPAN), name="p1")
+        engine.run()
+        assert trace == [
+            (2, "p1", "a"),
+            (WHEEL_SPAN + 2, "p0", "a"),
+            (WHEEL_SPAN + 2, "p1", "b"),
+            (WHEEL_SPAN + 3, "p0", "b"),
+        ]
+
+    def test_run_until_pauses_inside_and_beyond_the_wheel_window(self):
+        def build():
+            engine = Engine()
+            trace = []
+
+            def worker(tag, delay):
+                for _ in range(3):
+                    yield delay
+                    trace.append((engine.now, tag))
+
+            engine.process(worker("near", 5), name="near")
+            engine.process(worker("far", WHEEL_SPAN + 11), name="far")
+            return engine, trace
+
+        engine, full = build()
+        engine.run()
+
+        engine2, stepped = build()
+        # Bounds inside the first window, exactly at the horizon, and far
+        # beyond it (forcing heap->wheel migration on re-entry).
+        for until in (3, WHEEL_SPAN, WHEEL_SPAN + 11, 2 * WHEEL_SPAN + 30):
+            assert engine2.run(until=until) == until
+        engine2.run()
+        assert stepped == full
+        assert engine2.now == engine.now
+
+    def test_schedule_callbacks_merge_with_process_wakeups(self):
+        engine = Engine()
+        trace = []
+
+        def worker():
+            yield 4
+            trace.append(("proc", engine.now))
+
+        engine.process(worker(), name="p")
+        engine.schedule(4, lambda: trace.append(("cb4", engine.now)))
+        engine.schedule(WHEEL_SPAN + 4, lambda: trace.append(("far", engine.now)))
+        engine.schedule(0, lambda: trace.append(("cb0", engine.now)))
+        engine.run()
+        # Ties at time 4 break by scheduling order: the callback claimed its
+        # sequence number when schedule() ran, the process's wakeup only when
+        # its first step executed `yield 4` (during cycle 0) — exactly the
+        # pre-wheel single-queue order.
+        assert trace == [
+            ("cb0", 0),
+            ("cb4", 4),
+            ("proc", 4),
+            ("far", WHEEL_SPAN + 4),
+        ]
+
+    def test_batched_trigger_preserves_waiter_and_bystander_order(self):
+        engine = Engine()
+        event = SimEvent(engine, "broadcast")
+        trace = []
+
+        def waiter(tag):
+            yield WaitEvent(event)
+            trace.append(("woke", tag, engine.now))
+            yield 1
+            trace.append(("after", tag, engine.now))
+
+        def bystander():
+            # Scheduled *after* the waiters at the trigger cycle: the batched
+            # drain must still run every waiter first.
+            yield 2
+            trace.append(("bystander", engine.now))
+
+        def trigger():
+            yield 2
+            event.trigger("payload")
+            trace.append(("triggered", engine.now))
+
+        for tag in range(3):
+            engine.process(waiter(tag), name=f"w{tag}")
+        engine.process(trigger(), name="t")
+        engine.process(bystander(), name="b")
+        engine.run()
+        assert trace == [
+            ("triggered", 2),
+            ("bystander", 2),
+            ("woke", 0, 2),
+            ("woke", 1, 2),
+            ("woke", 2, 2),
+            ("after", 0, 3),
+            ("after", 1, 3),
+            ("after", 2, 3),
+        ]
+
+    def test_batch_drain_skips_processes_finished_mid_drain(self):
+        # Process.resume guards against resuming a finished process; drive
+        # a batch containing one directly (no generator interleaving can
+        # produce this naturally, which is exactly why the guard must not
+        # rely on it never happening).
+        from repro.sim.events import _WaiterBatch
+
+        engine = Engine()
+        woken = []
+
+        def quick():
+            yield 1
+
+        def waiter():
+            got = yield WaitEvent(SimEvent(engine, "unused"))
+            woken.append(got)
+
+        finished = engine.process(quick(), name="done")
+        engine.run()
+        assert finished.finished
+        live = engine.process(waiter(), name="live")
+
+        def sentinel():  # keeps the queues non-empty so run(until) pauses
+            yield WHEEL_SPAN * 4
+
+        engine.process(sentinel(), name="sentinel")
+        engine.run(until=engine.now + 1)  # let the waiter reach its yield
+        # The stale finished process must be skipped without touching its
+        # generator; the live waiter resumes with the batch value.
+        _WaiterBatch([finished, live]).resume(42)
+        assert woken == [42]
+        assert finished.result is None
+
+    def test_deadlock_detection_sees_wheel_and_heap_events(self):
+        # A pending far-future event must keep the engine alive; once the
+        # queues drain with a blocked process, DeadlockError still fires.
+        from repro.errors import DeadlockError
+
+        engine = Engine()
+
+        def blocked():
+            yield WaitEvent(SimEvent(engine, "never"))
+
+        def worker():
+            yield WHEEL_SPAN * 2
+
+        engine.process(blocked(), name="blocked")
+        engine.process(worker(), name="w")
+        with pytest.raises(DeadlockError):
+            engine.run()
+        assert engine.now == WHEEL_SPAN * 2
 
 
 class TestProcessRegistry:

@@ -45,6 +45,20 @@ class TestDependenceSpec:
         with pytest.raises(InvalidProgramError):
             DependenceSpec(0x100, 0, AccessMode.IN)
 
+    def test_immutable(self):
+        # Built programs are shared across simulations by the campaign
+        # engine's program cache; mutation must fail loudly.
+        spec = DependenceSpec(0x100, 64, AccessMode.IN)
+        with pytest.raises(AttributeError, match="immutable"):
+            spec.address = 0x200
+
+    def test_equality_and_hashing_by_value(self):
+        a = DependenceSpec(0x100, 64, AccessMode.IN)
+        b = DependenceSpec(0x100, 64, AccessMode.IN)
+        c = DependenceSpec(0x100, 64, AccessMode.OUT)
+        assert a == b and hash(a) == hash(b)
+        assert a != c and len({a, b, c}) == 2
+
 
 class TestTaskDefinition:
     def test_address_accessors(self):
@@ -65,6 +79,11 @@ class TestTaskDefinition:
     def test_bad_memory_sensitivity_rejected(self):
         with pytest.raises(InvalidProgramError):
             make_definition(memory_sensitivity=2.0)
+
+    def test_immutable(self):
+        definition = make_definition()
+        with pytest.raises(AttributeError, match="immutable"):
+            definition.work_us = 99.0
 
 
 class TestTaskInstance:
