@@ -47,6 +47,7 @@ class ReferenceGraph:
         last_writer: Dict[int, int] = {}
         readers: Dict[int, List[int]] = {}
         edges: List[Tuple[int, int]] = []
+        seen: set = set()
         region_of: Dict[int, int] = {}
         for region_index, region in enumerate(program.regions):
             for definition in region.tasks:
@@ -56,17 +57,27 @@ class ReferenceGraph:
                     address = dependence.address
                     writer = last_writer.get(address)
                     if writer is not None and writer != uid:
-                        edges.append((writer, uid))
+                        edge = (writer, uid)
+                        if edge not in seen:
+                            seen.add(edge)
+                            edges.append(edge)
                     if dependence.is_output:
                         for reader in readers.get(address, ()):
                             if reader != uid:
-                                edges.append((reader, uid))
+                                edge = (reader, uid)
+                                if edge not in seen:
+                                    seen.add(edge)
+                                    edges.append(edge)
                         readers[address] = []
                         last_writer[address] = uid
                     else:
                         reader_list = readers.setdefault(address, [])
                         if uid not in reader_list:
                             reader_list.append(uid)
+        # Duplicate edges (the same pair reachable through several addresses)
+        # are dropped: validation only checks each edge's timestamps, so the
+        # dedup changes nothing semantically and shrinks the per-simulation
+        # verification loop.
         return cls(edges=tuple(edges), region_of=region_of)
 
 
@@ -93,7 +104,13 @@ def validate_execution(program: TaskProgram, instances: Sequence[TaskInstance]) 
         if instance.finish_cycle < instance.start_cycle:
             raise ValidationError(f"task {instance.name!r} finished before it started")
 
-    reference = ReferenceGraph.from_program(program)
+    # Programs are immutable and shared across simulations by the campaign
+    # engine's program cache, so the reference graph is memoized on the
+    # program itself (one build per program instead of one per simulation).
+    reference = getattr(program, "_reference_graph", None)
+    if reference is None:
+        reference = ReferenceGraph.from_program(program)
+        object.__setattr__(program, "_reference_graph", reference)
     for pred_uid, succ_uid in reference.edges:
         pred = by_uid[pred_uid]
         succ = by_uid[succ_uid]

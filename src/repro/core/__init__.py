@@ -7,9 +7,10 @@ structure of Figure 3 of the paper:
 * :mod:`repro.core.alias_table` — TAT and DAT (set-associative alias tables
   with free-ID queues and dynamic index-bit selection),
 * :mod:`repro.core.task_table` / :mod:`repro.core.dependence_table` —
-  direct-access SRAM tables indexed by internal IDs,
+  direct-access SRAM tables indexed by internal IDs (struct-of-arrays
+  columns, one per Figure-4 field),
 * :mod:`repro.core.list_array` — inode-style successor / dependence / reader
-  list arrays,
+  list arrays (flat columnar slot slab + next/in-use/valid columns),
 * :mod:`repro.core.ready_queue` — the FIFO of ready task IDs,
 * :mod:`repro.core.dmu` — the unit itself, implementing Algorithms 1 and 2
   with per-instruction cycle accounting and blocking on full structures,
@@ -18,8 +19,8 @@ structure of Figure 3 of the paper:
 
 from .alias_table import AliasTable, dat_index_start_bit
 from .list_array import ListArray
-from .task_table import TaskTable, TaskTableEntry
-from .dependence_table import DependenceTable, DependenceTableEntry
+from .task_table import TaskTable
+from .dependence_table import DependenceTable
 from .ready_queue import ReadyQueue
 from .isa import (
     AddDependenceResult,
@@ -42,9 +43,7 @@ __all__ = [
     "dat_index_start_bit",
     "ListArray",
     "TaskTable",
-    "TaskTableEntry",
     "DependenceTable",
-    "DependenceTableEntry",
     "ReadyQueue",
     "DependenceManagementUnit",
     "DMUStats",

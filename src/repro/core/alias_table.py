@@ -11,11 +11,21 @@ bits of their dependence addresses are identical and a naive index would map
 everything to one set.  The DMU therefore starts the index bits at
 ``log2(size)`` of the dependence (Section III-B1 / Section V-E), which this
 module implements in :func:`dat_index_start_bit`.
+
+Way storage is struct-of-arrays: each touched set owns a fixed slab of
+``associativity`` slots in two flat parallel columns (``way address`` and
+``way internal-ID``) plus an incremental per-set occupancy count — no tuple
+is allocated per way insertion, and eviction shifts the short slab in place
+to preserve way order.  Slabs are assigned lazily on a set's first
+allocation so "ideal" configurations (2^20 entries) never pay for untouched
+sets.  Internal IDs keep the fresh-counter + recycled-LIFO-stack scheme:
+recycling order is observable (it decides which Task/Dependence Table row a
+new allocation lands in) and is pinned by the digest tests.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..errors import DMUStructureFullError
 
@@ -30,12 +40,6 @@ def dat_index_start_bit(size: int) -> int:
     if size <= 1:
         return 0
     return size.bit_length() - 1
-
-
-#: One way of one set: ``(address, internal_id)`` — a tag (full address) and
-#: the internal ID it maps to.  A plain tuple: ways are allocated and scanned
-#: on every DMU instruction.
-_Way = Tuple[int, int]
 
 
 class AliasTable:
@@ -57,7 +61,13 @@ class AliasTable:
         self.num_sets = num_entries // associativity
         self.index_start_bit = index_start_bit
         self.dynamic_index = dynamic_index
-        self._sets: Dict[int, List[_Way]] = {}
+        # Way columns: set with slab number s owns slots
+        # [s * associativity, (s + 1) * associativity) of both columns, with
+        # its live-way count in _set_count[s].  Slabs are handed out lazily.
+        self._slab_of_set: Dict[int, int] = {}
+        self._way_address: List[int] = []
+        self._way_id: List[int] = []
+        self._set_count: List[int] = []
         self._by_address: Dict[int, int] = {}
         self._address_set: Dict[int, int] = {}
         # Occupied-set count maintained incrementally: allocate/release keep
@@ -117,10 +127,10 @@ class AliasTable:
         """True when ``address`` could be inserted right now without blocking."""
         if address in self._by_address:
             return True
-        if self.free_entries <= 0:
+        if self.num_entries - len(self._by_address) <= 0:
             return False
-        ways = self._sets.get(self.set_index(address, size), [])
-        return len(ways) < self.associativity
+        slab = self._slab_of_set.get(self.set_index(address, size))
+        return slab is None or self._set_count[slab] < self.associativity
 
     def allocate(self, address: int, size: int = 1) -> int:
         """Map ``address`` to a fresh internal ID (or return the existing one).
@@ -130,15 +140,25 @@ class AliasTable:
         rejection); the two causes are counted separately because the
         index-bit-selection experiment distinguishes them.
         """
-        existing = self._by_address.get(address)
+        by_address = self._by_address
+        existing = by_address.get(address)
         if existing is not None:
             return existing
-        if self.free_entries <= 0:
+        if self.num_entries - len(by_address) <= 0:
             self.capacity_rejections += 1
             raise DMUStructureFullError(self.name, f"{self.name}: no free IDs")
         set_index = self.set_index(address, size)
-        ways = self._sets.setdefault(set_index, [])
-        if len(ways) >= self.associativity:
+        set_count = self._set_count
+        slab = self._slab_of_set.get(set_index)
+        if slab is None:
+            slab = len(set_count)
+            self._slab_of_set[set_index] = slab
+            blank = (-1,) * self.associativity
+            self._way_address.extend(blank)
+            self._way_id.extend(blank)
+            set_count.append(0)
+        count = set_count[slab]
+        if count >= self.associativity:
             self.conflict_rejections += 1
             raise DMUStructureFullError(
                 self.name, f"{self.name}: set {set_index} has no free way"
@@ -148,13 +168,16 @@ class AliasTable:
         else:
             internal_id = self._next_fresh_id
             self._next_fresh_id += 1
-        if not ways:
+        if count == 0:
             self._occupied_sets += 1
-        ways.append((address, internal_id))
-        self._by_address[address] = internal_id
+        slot = slab * self.associativity + count
+        self._way_address[slot] = address
+        self._way_id[slot] = internal_id
+        set_count[slab] = count + 1
+        by_address[address] = internal_id
         self._address_set[address] = set_index
         self.allocations += 1
-        occupancy = len(self._by_address)
+        occupancy = len(by_address)
         if occupancy > self.peak_occupancy:
             self.peak_occupancy = occupancy
         return internal_id
@@ -165,12 +188,24 @@ class AliasTable:
         if internal_id is None:
             raise KeyError(f"{self.name}: address {address:#x} is not mapped")
         set_index = self._address_set.pop(address)
-        ways = self._sets.get(set_index, [])
-        for position, (way_address, _way_id) in enumerate(ways):
-            if way_address == address:
-                del ways[position]
+        slab = self._slab_of_set[set_index]
+        way_address = self._way_address
+        way_id = self._way_id
+        base = slab * self.associativity
+        count = self._set_count[slab]
+        # Find the way and close the gap by shifting the (short) slab tail
+        # left one slot — preserves way order exactly like the old
+        # ``del ways[position]`` on a per-set list.
+        for slot in range(base, base + count):
+            if way_address[slot] == address:
+                for shift in range(slot, base + count - 1):
+                    way_address[shift] = way_address[shift + 1]
+                    way_id[shift] = way_id[shift + 1]
+                way_address[base + count - 1] = -1
+                way_id[base + count - 1] = -1
                 break
-        if not ways:
+        self._set_count[slab] = count - 1
+        if count == 1:
             self._occupied_sets -= 1
         self._recycled_ids.append(internal_id)
         return internal_id

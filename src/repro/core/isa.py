@@ -13,10 +13,16 @@ instead of mutating state partially the DMU returns :class:`DMUBlocked`, and
 the simulated core retries once capacity is freed (the paper gives the ISA
 instructions blocking/barrier semantics).
 
-One result object is allocated per ISA instruction — the innermost unit of
-work of every DMU-based simulation — so these are plain ``__slots__`` classes
-with ``blocked`` as a class attribute rather than frozen dataclasses (whose
-generated ``__init__`` pays an ``object.__setattr__`` call per field).
+These are plain ``__slots__`` classes with ``blocked`` as a class attribute
+rather than frozen dataclasses (whose generated ``__init__`` pays an
+``object.__setattr__`` call per field).  The DMU **pools** one instance per
+result type and mutates it in place on every instruction — the innermost
+unit of work of every DMU-based simulation allocates no result object.  The
+contract for callers: a returned result is valid until the *next* ISA
+instruction issued to the same DMU; copy the fields you need into locals
+before then (in the simulator this means before the next ``yield`` after
+releasing the DMU lock), or call :meth:`detach` to obtain a private copy
+(used on the cold blocked-retry path, where the result outlives a wait).
 """
 
 from __future__ import annotations
@@ -35,6 +41,10 @@ class DMUBlocked:
         self.structure = structure
         self.cycles = cycles
 
+    def detach(self) -> "DMUBlocked":
+        """Private copy of this (possibly pooled) result."""
+        return DMUBlocked(self.structure, self.cycles)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DMUBlocked(structure={self.structure!r}, cycles={self.cycles})"
 
@@ -49,6 +59,10 @@ class CreateTaskResult:
     def __init__(self, cycles: int, task_id: int) -> None:
         self.cycles = cycles
         self.task_id = task_id
+
+    def detach(self) -> "CreateTaskResult":
+        """Private copy of this (possibly pooled) result."""
+        return CreateTaskResult(self.cycles, self.task_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CreateTaskResult(cycles={self.cycles}, task_id={self.task_id})"
@@ -65,6 +79,10 @@ class AddDependenceResult:
         self.cycles = cycles
         self.dependence_id = dependence_id
         self.predecessors_added = predecessors_added
+
+    def detach(self) -> "AddDependenceResult":
+        """Private copy of this (possibly pooled) result."""
+        return AddDependenceResult(self.cycles, self.dependence_id, self.predecessors_added)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -93,6 +111,10 @@ class CompleteCreationResult:
         self.cycles = cycles
         self.became_ready = became_ready
 
+    def detach(self) -> "CompleteCreationResult":
+        """Private copy of this (possibly pooled) result."""
+        return CompleteCreationResult(self.cycles, self.became_ready)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompleteCreationResult(cycles={self.cycles}, became_ready={self.became_ready})"
 
@@ -107,6 +129,10 @@ class FinishTaskResult:
     def __init__(self, cycles: int, tasks_woken: int) -> None:
         self.cycles = cycles
         self.tasks_woken = tasks_woken
+
+    def detach(self) -> "FinishTaskResult":
+        """Private copy of this (possibly pooled) result."""
+        return FinishTaskResult(self.cycles, self.tasks_woken)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FinishTaskResult(cycles={self.cycles}, tasks_woken={self.tasks_woken})"
@@ -136,6 +162,10 @@ class GetReadyTaskResult:
     @property
     def is_null(self) -> bool:
         return self.descriptor_address is None
+
+    def detach(self) -> "GetReadyTaskResult":
+        """Private copy of this (possibly pooled) result."""
+        return GetReadyTaskResult(self.cycles, self.descriptor_address, self.num_successors)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,4 +1,4 @@
-"""Inode-style list arrays (Figure 5 of the paper).
+"""Inode-style list arrays (Figure 5 of the paper), stored columnar.
 
 A list array is an SRAM that stores many variable-length lists of small IDs.
 Each entry holds a fixed number of element slots plus a ``Next`` field that
@@ -10,11 +10,32 @@ The DMU uses three list arrays: the Successor List Array (task IDs), the
 Dependence List Array (dependence IDs) and the Reader List Array (task IDs).
 They share this implementation.
 
-Every method returns the number of SRAM entry accesses it performed so the
-DMU can charge the corresponding latency.  The access counts are part of the
-timing model (and therefore of the pinned byte-identical CSV digests), so
-performance work here may only change *how* a walk is executed, never how
-many entries it visits.
+Storage is struct-of-arrays rather than object-per-entry: all entries'
+element slots live in one flat list (entry ``i`` owns slots
+``[i * elements_per_entry, (i + 1) * elements_per_entry)``) beside parallel
+``next``/``in_use``/``valid`` columns indexed by entry.  Entry *handles* are
+plain ints; no per-entry object is ever allocated on the DMU instruction
+path.  Columns grow on demand so that very large ("ideal", effectively
+unlimited) configurations cost nothing until entries are actually used.
+
+Three per-list columns (meaningful at a list's *head* entry only) make the
+DMU's uncharged capacity pre-checks O(1) instead of a chain walk:
+``_list_valid`` (total valid elements in the chain), ``_list_entries``
+(chain length in entries) and ``_tail`` (last entry of the chain).
+
+Every mutating method returns the number of SRAM entry accesses it performed
+so the DMU can charge the corresponding latency.  The access counts are part
+of the timing model (and therefore of the pinned byte-identical CSV
+digests), so performance work here may only change *how* a walk is executed,
+never how many entries it visits.  ``append_only`` arrays (no ``remove``/
+``flush``) exploit the invariant that only the tail entry can have free
+slots to compute the charged walk length arithmetically.
+
+Entry recycling order is observable (it decides which SRAM entry a new list
+lands in, and the corrupted-chain guards walk real indices), so the free
+list is a LIFO stack exactly like the object-based implementation it
+replaced: ``_release_entry`` pushes, ``_allocate_entry`` pops, and fresh
+indices are handed out in increasing order only when the stack is empty.
 """
 
 from __future__ import annotations
@@ -27,33 +48,16 @@ from ..errors import DMUStructureFullError
 INVALID_ELEMENT = 0xFFF
 
 
-class _ListEntry:
-    """One SRAM entry: element slots plus the Next pointer.
-
-    ``valid`` mirrors the number of non-invalid slots so the fullness and
-    length checks performed on every DMU instruction do not rescan the slot
-    array.
-    """
-
-    __slots__ = ("elements", "next_index", "in_use", "valid")
-
-    def __init__(self, elements: List[int], next_index: int, in_use: bool = False) -> None:
-        self.elements = elements
-        self.next_index = next_index
-        self.in_use = in_use
-        self.valid = len(elements) - elements.count(INVALID_ELEMENT)
-
-    def count(self) -> int:
-        return self.valid
-
-    def is_full(self) -> bool:
-        return self.valid == len(self.elements)
-
-
 class ListArray:
     """A pool of inode-style linked lists with explicit capacity accounting."""
 
-    def __init__(self, name: str, num_entries: int, elements_per_entry: int) -> None:
+    def __init__(
+        self,
+        name: str,
+        num_entries: int,
+        elements_per_entry: int,
+        append_only: bool = False,
+    ) -> None:
         if num_entries < 1:
             raise ValueError("num_entries must be >= 1")
         if elements_per_entry < 1:
@@ -61,11 +65,18 @@ class ListArray:
         self.name = name
         self.num_entries = num_entries
         self.elements_per_entry = elements_per_entry
-        # Entry objects are materialized lazily so that very large (or
-        # "ideal", effectively unlimited) configurations cost nothing until
-        # entries are actually used.  ``_entries`` only holds entries that are
-        # currently in use or have been used before (recycled).
-        self._entries: dict[int, _ListEntry] = {}
+        #: Append-only arrays reject ``remove``/``flush``; in exchange the
+        #: append path needs no chain walk (only the tail can be non-full).
+        self.append_only = append_only
+        # Columnar storage, grown lazily as fresh entries are touched.
+        self._elements: List[int] = []  # flat slot slab
+        self._next: List[int] = []  # Next pointer per entry (self-loop at tail)
+        self._in_use: List[int] = []  # 0/1 per entry
+        self._valid: List[int] = []  # valid-slot count per entry
+        # Per-list columns, read/written at the head entry's index only.
+        self._list_valid: List[int] = []
+        self._list_entries: List[int] = []
+        self._tail: List[int] = []
         self._recycled: List[int] = []
         self._next_fresh_index = 0
         self.peak_entries_used = 0
@@ -73,7 +84,7 @@ class ListArray:
         #: plain attribute maintained by allocate/release (not a property):
         #: the DMU reads it in every capacity pre-check.
         self.free_entries = num_entries
-        # All-invalid slot row, slice-assigned to recycle an entry in one C
+        # All-invalid slot row, slice-assigned to blank an entry in one C
         # call instead of a per-slot Python loop.
         self._blank_row = (INVALID_ELEMENT,) * elements_per_entry
 
@@ -87,16 +98,20 @@ class ListArray:
         if free <= 0:
             raise DMUStructureFullError(self.name)
         if self._recycled:
-            # _release_entry already blanked the slots and reset `valid`.
+            # _release_entry already blanked the slots and reset the columns.
             index = self._recycled.pop()
-            entry = self._entries[index]
         else:
             index = self._next_fresh_index
             self._next_fresh_index = index + 1
-            entry = _ListEntry(list(self._blank_row), next_index=index)
-            self._entries[index] = entry
-        entry.in_use = True
-        entry.next_index = index
+            self._elements.extend(self._blank_row)
+            self._next.append(index)
+            self._in_use.append(0)
+            self._valid.append(0)
+            self._list_valid.append(0)
+            self._list_entries.append(0)
+            self._tail.append(index)
+        self._in_use[index] = 1
+        self._next[index] = index
         self.free_entries = free - 1
         in_use = self.num_entries - free + 1
         if in_use > self.peak_entries_used:
@@ -104,35 +119,46 @@ class ListArray:
         return index
 
     def _release_entry(self, index: int) -> None:
-        entry = self._entries[index]
-        entry.in_use = False
-        entry.elements[:] = self._blank_row
-        entry.valid = 0
-        entry.next_index = index
+        self._in_use[index] = 0
+        base = index * self.elements_per_entry
+        self._elements[base : base + self.elements_per_entry] = self._blank_row
+        self._valid[index] = 0
+        self._next[index] = index
         self.free_entries += 1
         self._recycled.append(index)
 
     # ------------------------------------------------------------------ list API
-    def new_list(self) -> Tuple[int, int]:
-        """Allocate an empty list; returns ``(head_index, accesses)``."""
+    def new_list_head(self) -> int:
+        """Allocate an empty list; returns the head handle (always 1 access).
+
+        The no-tuple variant of :meth:`new_list` for the DMU's hot create
+        path, where the access count is a known constant.
+        """
         head = self._allocate_entry()
-        return head, 1
+        self._list_valid[head] = 0
+        self._list_entries[head] = 1
+        self._tail[head] = head
+        return head
+
+    def new_list(self) -> Tuple[int, int]:
+        """Allocate an empty list; returns ``(head_handle, accesses)``."""
+        return self.new_list_head(), 1
 
     def appending_needs_new_entry(self, head: int) -> bool:
-        """True when appending one element to the list would allocate an entry."""
-        entries = self._entries
-        index = head
-        visited = 0
-        while True:
-            entry = entries[index]
-            if not entry.in_use:
-                raise ValueError(f"{self.name}: list head {head} references a free entry")
-            visited += 1
-            if entry.next_index == index:
-                return entry.valid == self.elements_per_entry
-            if visited > self.num_entries:
-                raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
-            index = entry.next_index
+        """True when the list's *tail entry* is full — the pre-rewrite
+        (object-model) semantics, which the DMU's blocking behavior is
+        pinned to.
+
+        Note this is deliberately NOT "no free slot anywhere": after
+        ``remove`` leaves a hole in a non-tail entry, ``append`` fills the
+        hole without allocating, but the historical pre-check still reported
+        True (it walked to the tail and looked only there) and the DMU
+        therefore blocked on exhausted capacity.  O(1) here via the
+        maintained tail column instead of the walk.
+        """
+        if not self._in_use[head]:
+            raise ValueError(f"{self.name}: list head {head} references a free entry")
+        return self._valid[self._tail[head]] == self.elements_per_entry
 
     def append(self, head: int, value: int) -> int:
         """Append ``value`` to the list starting at ``head``; returns accesses.
@@ -143,55 +169,114 @@ class ListArray:
         """
         if value == INVALID_ELEMENT:
             raise ValueError("cannot store the invalid-element marker")
-        entries = self._entries
         per_entry = self.elements_per_entry
+        valid = self._valid
+        list_valid = self._list_valid
+        if self.append_only:
+            # Only the tail can be non-full, so the charged walk length is
+            # known without walking: the walk of the general path below
+            # visits every entry up to (and including) the first one with a
+            # free slot, and slots fill left to right with no holes.
+            if not self._in_use[head]:
+                raise ValueError(f"{self.name}: list head {head} references a free entry")
+            chain_entries = self._list_entries[head]
+            tail = self._tail[head]
+            tail_valid = valid[tail]
+            if tail_valid < per_entry:
+                self._elements[tail * per_entry + tail_valid] = value
+                valid[tail] = tail_valid + 1
+                list_valid[head] += 1
+                return chain_entries
+            new_index = self._allocate_entry()
+            self._next[tail] = new_index
+            self._elements[new_index * per_entry] = value
+            valid[new_index] = 1
+            self._tail[head] = new_index
+            self._list_entries[head] = chain_entries + 1
+            list_valid[head] += 1
+            return chain_entries + 1
+        elements = self._elements
+        next_column = self._next
         accesses = 0
         index = head
         while True:
             accesses += 1
-            entry = entries[index]
-            valid = entry.valid
-            if valid < per_entry:
+            entry_valid = valid[index]
+            if entry_valid < per_entry:
                 # First free slot, located with the C-level scan (invalid
                 # slots hold the marker, so index() finds the same slot the
                 # old per-slot loop did).
-                elements = entry.elements
-                elements[elements.index(INVALID_ELEMENT)] = value
-                entry.valid = valid + 1
+                base = index * per_entry
+                slot = elements.index(INVALID_ELEMENT, base, base + per_entry)
+                elements[slot] = value
+                valid[index] = entry_valid + 1
+                list_valid[head] += 1
                 return accesses
-            next_index = entry.next_index
+            next_index = next_column[index]
             if next_index == index:
                 new_index = self._allocate_entry()
                 accesses += 1
-                entry.next_index = new_index
-                new_entry = entries[new_index]
-                new_entry.elements[0] = value
-                new_entry.valid = 1
+                next_column[index] = new_index
+                elements[new_index * per_entry] = value
+                valid[new_index] = 1
+                self._tail[head] = new_index
+                self._list_entries[head] += 1
+                list_valid[head] += 1
                 return accesses
             index = next_index
 
     def iterate(self, head: int) -> Tuple[List[int], int]:
         """Return ``(values, accesses)`` for the whole list."""
-        entries = self._entries
+        elements = self._elements
+        next_column = self._next
+        in_use = self._in_use
+        valid = self._valid
         per_entry = self.elements_per_entry
+        if next_column[head] == head:
+            # Single-entry chain: the overwhelmingly common shape.
+            if not in_use[head]:
+                raise ValueError(f"{self.name}: list head {head} references a free entry")
+            entry_valid = valid[head]
+            base = head * per_entry
+            if entry_valid == per_entry:
+                return elements[base : base + per_entry], 1
+            if not entry_valid:
+                return [], 1
+            if self.append_only:
+                # Slots fill left to right with no holes.
+                return elements[base : base + entry_valid], 1
+            return (
+                [
+                    element
+                    for element in elements[base : base + per_entry]
+                    if element != INVALID_ELEMENT
+                ],
+                1,
+            )
         values: List[int] = []
         accesses = 0
         index = head
         while True:
             accesses += 1
-            entry = entries[index]
-            if not entry.in_use:
+            if not in_use[index]:
                 raise ValueError(f"{self.name}: list head {head} references a free entry")
-            valid = entry.valid
-            if valid:
-                elements = entry.elements
-                if valid == per_entry:
-                    values.extend(elements)
+            entry_valid = valid[index]
+            if entry_valid:
+                base = index * per_entry
+                if entry_valid == per_entry:
+                    values.extend(elements[base : base + per_entry])
+                elif self.append_only:
+                    # Only the tail can be partial, and it has no holes.
+                    values.extend(elements[base : base + entry_valid])
                 else:
                     values.extend(
-                        [element for element in elements if element != INVALID_ELEMENT]
+                        [
+                            element
+                            for element in elements[base : base + per_entry]
+                            if element != INVALID_ELEMENT
+                        ]
                     )
-            next_index = entry.next_index
+            next_index = next_column[index]
             if next_index == index:
                 return values, accesses
             if accesses > self.num_entries:
@@ -200,21 +285,41 @@ class ListArray:
 
     def remove(self, head: int, value: int) -> Tuple[bool, int]:
         """Remove the first occurrence of ``value``; returns ``(found, accesses)``."""
-        entries = self._entries
+        if self.append_only:
+            raise ValueError(f"{self.name}: remove() on an append-only list array")
+        elements = self._elements
+        next_column = self._next
+        in_use = self._in_use
+        valid = self._valid
+        per_entry = self.elements_per_entry
+        if next_column[head] == head:
+            # Single-entry chain fast path.
+            if not in_use[head]:
+                raise ValueError(f"{self.name}: list head {head} references a free entry")
+            if valid[head]:
+                base = head * per_entry
+                row = elements[base : base + per_entry]
+                if value in row:
+                    elements[base + row.index(value)] = INVALID_ELEMENT
+                    valid[head] -= 1
+                    self._list_valid[head] -= 1
+                    return True, 1
+            return False, 1
         accesses = 0
         index = head
         while True:
             accesses += 1
-            entry = entries[index]
-            if not entry.in_use:
+            if not in_use[index]:
                 raise ValueError(f"{self.name}: list head {head} references a free entry")
-            if entry.valid:
-                elements = entry.elements
-                if value in elements:
-                    elements[elements.index(value)] = INVALID_ELEMENT
-                    entry.valid -= 1
+            if valid[index]:
+                base = index * per_entry
+                row = elements[base : base + per_entry]
+                if value in row:
+                    elements[base + row.index(value)] = INVALID_ELEMENT
+                    valid[index] -= 1
+                    self._list_valid[head] -= 1
                     return True, accesses
-            next_index = entry.next_index
+            next_index = next_column[index]
             if next_index == index:
                 return False, accesses
             if accesses > self.num_entries:
@@ -226,45 +331,56 @@ class ListArray:
 
         Used for "Flush reader list of depID" in Algorithm 1.
         """
-        entries = self._entries
-        head_entry = entries[head]
-        if not head_entry.in_use:
+        if self.append_only:
+            raise ValueError(f"{self.name}: flush() on an append-only list array")
+        next_column = self._next
+        in_use = self._in_use
+        if not in_use[head]:
             raise ValueError(f"{self.name}: list head {head} references a free entry")
         accesses = 1
-        index = head_entry.next_index
+        index = next_column[head]
         if index != head:
             while True:
-                entry = entries[index]
-                if not entry.in_use:
+                if not in_use[index]:
                     raise ValueError(
                         f"{self.name}: list head {head} references a free entry"
                     )
                 accesses += 1
                 if accesses > self.num_entries:
                     raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
-                next_index = entry.next_index
+                next_index = next_column[index]
                 self._release_entry(index)
                 if next_index == index:
                     break
                 index = next_index
-        head_entry.elements[:] = self._blank_row
-        head_entry.valid = 0
-        head_entry.next_index = head
+        base = head * self.elements_per_entry
+        self._elements[base : base + self.elements_per_entry] = self._blank_row
+        self._valid[head] = 0
+        next_column[head] = head
+        self._list_valid[head] = 0
+        self._list_entries[head] = 1
+        self._tail[head] = head
         return accesses
 
     def free_list(self, head: int) -> int:
         """Release every entry of the list; returns accesses."""
-        entries = self._entries
+        next_column = self._next
+        in_use = self._in_use
+        if next_column[head] == head:
+            # Single-entry chain fast path.
+            if not in_use[head]:
+                raise ValueError(f"{self.name}: list head {head} references a free entry")
+            self._release_entry(head)
+            return 1
         accesses = 0
         index = head
         while True:
-            entry = entries[index]
-            if not entry.in_use:
+            if not in_use[index]:
                 raise ValueError(f"{self.name}: list head {head} references a free entry")
             accesses += 1
             if accesses > self.num_entries:
                 raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
-            next_index = entry.next_index
+            next_index = next_column[index]
             self._release_entry(index)
             if next_index == index:
                 return accesses
@@ -272,21 +388,9 @@ class ListArray:
 
     def length(self, head: int) -> int:
         """Number of valid elements in the list (no access accounting)."""
-        entries = self._entries
-        total = 0
-        visited = 0
-        index = head
-        while True:
-            entry = entries[index]
-            if not entry.in_use:
-                raise ValueError(f"{self.name}: list head {head} references a free entry")
-            total += entry.valid
-            visited += 1
-            if entry.next_index == index:
-                return total
-            if visited > self.num_entries:
-                raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
-            index = entry.next_index
+        if not self._in_use[head]:
+            raise ValueError(f"{self.name}: list head {head} references a free entry")
+        return self._list_valid[head]
 
     def is_empty(self, head: int) -> bool:
         """True when the list holds no valid element."""
@@ -294,23 +398,25 @@ class ListArray:
 
     def entries_of(self, head: int) -> int:
         """Number of SRAM entries the list currently spans."""
-        return sum(1 for _ in self._walk(head))
+        if not self._in_use[head]:
+            raise ValueError(f"{self.name}: list head {head} references a free entry")
+        return self._list_entries[head]
 
     # ------------------------------------------------------------------ internals
     def _walk(self, head: int) -> Iterator[int]:
+        """Follow the chain from ``head`` (validation and tests only)."""
         index = head
         visited = 0
         while True:
-            entry = self._entries[index]
-            if not entry.in_use:
+            if not self._in_use[index]:
                 raise ValueError(f"{self.name}: list head {head} references a free entry")
             yield index
             visited += 1
             if visited > self.num_entries:
                 raise ValueError(f"{self.name}: corrupted list chain starting at {head}")
-            if entry.next_index == index:
+            if self._next[index] == index:
                 return
-            index = entry.next_index
+            index = self._next[index]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

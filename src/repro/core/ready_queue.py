@@ -1,5 +1,11 @@
 """The DMU Ready Queue: a FIFO of internal task IDs ready for execution.
 
+The queue carries the same integer handles as the columnar Task Table: a
+popped ID indexes the table's columns directly (``get_ready_task`` reads the
+descriptor address and successor count straight from them).  Entries are
+plain ints in a ``collections.deque`` — already columnar in spirit, with no
+per-entry object to convert.
+
 The default configuration sizes the Ready Queue with as many entries as the
 Task Table (2048), so it can never overflow: a task ID is only inserted when
 the task is in flight, and each in-flight task occupies at most one slot.

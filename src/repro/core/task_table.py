@@ -3,58 +3,48 @@
 Each entry (Figure 4 of the paper) holds the task-descriptor address, the
 predecessor and successor counters, and pointers to the task's successor list
 and dependence list in the corresponding list arrays.
+
+Storage is struct-of-arrays: one column per field, indexed by the internal
+task ID (the *handle* handed out by the TAT).  ``create_task`` writes the
+columns in place instead of allocating an entry object per instruction, and
+the DMU's hot paths read/update columns directly (``table.predecessor_count
+[task_id]``).  Columns grow on demand — the TAT hands out IDs densely from
+zero (fresh counter plus a recycled-ID stack), so very large "ideal"
+configurations never pay for untouched capacity.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..errors import DMUProtocolError
 
 
-class TaskTableEntry:
-    """One in-flight task tracked by the DMU.
-
-    A ``__slots__`` class (one is allocated per ``create_task`` ISA
-    instruction; the generated dataclass ``__init__`` was measurable there).
-    """
-
-    __slots__ = ("descriptor_address", "predecessor_count", "successor_count",
-                 "successor_list", "dependence_list", "creation_complete", "valid")
-
-    def __init__(
-        self,
-        descriptor_address: int,
-        predecessor_count: int = 0,
-        successor_count: int = 0,
-        successor_list: int = -1,
-        dependence_list: int = -1,
-        creation_complete: bool = False,
-        valid: bool = True,
-    ) -> None:
-        self.descriptor_address = descriptor_address
-        self.predecessor_count = predecessor_count
-        self.successor_count = successor_count
-        self.successor_list = successor_list
-        self.dependence_list = dependence_list
-        self.creation_complete = creation_complete
-        self.valid = valid
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"TaskTableEntry(descriptor_address={self.descriptor_address:#x}, "
-            f"predecessors={self.predecessor_count}, successors={self.successor_count})"
-        )
-
-
 class TaskTable:
-    """Direct-access table of in-flight tasks."""
+    """Direct-access table of in-flight tasks, stored as parallel columns.
+
+    Public columns (lists indexed by internal task ID; read and written
+    directly by the DMU's instruction paths):
+
+    * ``descriptor_address`` — 64-bit task-descriptor address
+    * ``predecessor_count`` / ``successor_count`` — dependence counters
+    * ``successor_list`` / ``dependence_list`` — list-array head handles
+    * ``creation_complete`` — 0/1, set by the creation-completion step
+    * ``valid`` — 0/1 occupancy bit
+    """
 
     def __init__(self, num_entries: int) -> None:
         if num_entries < 1:
             raise ValueError("num_entries must be >= 1")
         self.num_entries = num_entries
-        self._entries: List[Optional[TaskTableEntry]] = [None] * num_entries
+        self.descriptor_address: List[int] = []
+        self.predecessor_count: List[int] = []
+        self.successor_count: List[int] = []
+        self.successor_list: List[int] = []
+        self.dependence_list: List[int] = []
+        self.creation_complete: List[int] = []
+        self.valid: List[int] = []
+        self._size = 0
         self.peak_occupancy = 0
         self._occupancy = 0
 
@@ -63,25 +53,54 @@ class TaskTable:
         """Number of valid entries currently held."""
         return self._occupancy
 
-    def install(self, task_id: int, entry: TaskTableEntry) -> None:
-        """Initialize the entry for ``task_id`` (create_task)."""
-        self._check_id(task_id)
-        if self._entries[task_id] is not None:
+    def _grow_to(self, size: int) -> None:
+        extra = size - self._size
+        padding = [0] * extra
+        self.descriptor_address.extend(padding)
+        self.predecessor_count.extend(padding)
+        self.successor_count.extend(padding)
+        self.successor_list.extend(padding)
+        self.dependence_list.extend(padding)
+        self.creation_complete.extend(padding)
+        self.valid.extend(padding)
+        self._size = size
+
+    def install(
+        self,
+        task_id: int,
+        descriptor_address: int,
+        successor_list: int,
+        dependence_list: int,
+    ) -> None:
+        """Initialize the columns for ``task_id`` (create_task)."""
+        if not (0 <= task_id < self.num_entries):
+            raise DMUProtocolError(
+                f"task id {task_id} out of range [0, {self.num_entries})"
+            )
+        if task_id >= self._size:
+            self._grow_to(task_id + 1)
+        elif self.valid[task_id]:
             raise DMUProtocolError(f"Task Table entry {task_id} is already in use")
-        self._entries[task_id] = entry
+        self.descriptor_address[task_id] = descriptor_address
+        self.predecessor_count[task_id] = 0
+        self.successor_count[task_id] = 0
+        self.successor_list[task_id] = successor_list
+        self.dependence_list[task_id] = dependence_list
+        self.creation_complete[task_id] = 0
+        self.valid[task_id] = 1
         self._occupancy += 1
-        self.peak_occupancy = max(self.peak_occupancy, self._occupancy)
+        if self._occupancy > self.peak_occupancy:
+            self.peak_occupancy = self._occupancy
 
-    def get(self, task_id: int) -> TaskTableEntry:
-        """Read the entry for ``task_id``.
+    def require(self, task_id: int) -> int:
+        """Bounds/validity check; returns ``task_id`` for chaining.
 
-        Called several times per ISA instruction, so the bounds check is
-        inlined rather than delegated to :meth:`_check_id`.
+        The DMU's hot paths skip this (IDs handed out by the TAT are valid
+        by construction); it guards the externally-reachable entry points.
         """
+        if 0 <= task_id < self._size and self.valid[task_id]:
+            return task_id
         if 0 <= task_id < self.num_entries:
-            entry = self._entries[task_id]
-            if entry is not None:
-                return entry
             raise DMUProtocolError(f"Task Table entry {task_id} is not valid")
         raise DMUProtocolError(
             f"task id {task_id} out of range [0, {self.num_entries})"
@@ -89,21 +108,18 @@ class TaskTable:
 
     def free(self, task_id: int) -> None:
         """Invalidate the entry for ``task_id`` (finish_task)."""
-        self._check_id(task_id)
-        if self._entries[task_id] is None:
-            raise DMUProtocolError(f"Task Table entry {task_id} is already free")
-        self._entries[task_id] = None
-        self._occupancy -= 1
-
-    def is_valid(self, task_id: int) -> bool:
-        if 0 <= task_id < self.num_entries:
-            return self._entries[task_id] is not None
-        raise DMUProtocolError(
-            f"task id {task_id} out of range [0, {self.num_entries})"
-        )
-
-    def _check_id(self, task_id: int) -> None:
         if not (0 <= task_id < self.num_entries):
             raise DMUProtocolError(
                 f"task id {task_id} out of range [0, {self.num_entries})"
             )
+        if task_id >= self._size or not self.valid[task_id]:
+            raise DMUProtocolError(f"Task Table entry {task_id} is already free")
+        self.valid[task_id] = 0
+        self._occupancy -= 1
+
+    def is_valid(self, task_id: int) -> bool:
+        if 0 <= task_id < self.num_entries:
+            return task_id < self._size and bool(self.valid[task_id])
+        raise DMUProtocolError(
+            f"task id {task_id} out of range [0, {self.num_entries})"
+        )

@@ -48,6 +48,14 @@ class RuntimeSystem(abc.ABC):
     #: Whether the configured software scheduler is honoured (hardware
     #: schedulers such as Carbon / Task Superscalar use their fixed policy).
     honors_scheduler: bool = True
+    #: When True the worker wake loop in :mod:`repro.sim.thread` inlines
+    #: the software-pool pop — the exact yield sequence of the runtime's
+    #: ``try_get_task`` (lock acquire, lock cycles, pop, pop cycles,
+    #: release) — skipping one generator allocation plus one delegation
+    #: frame per pop attempt, the most frequent scheduling path.  Only
+    #: valid for runtimes whose ``try_get_task`` is precisely that
+    #: sequence (software and TDM); keep the two in sync.
+    inline_software_pop: bool = False
 
     def __init__(
         self,

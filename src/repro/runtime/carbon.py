@@ -88,11 +88,16 @@ class CarbonRuntime(RuntimeSystem):
         instance.mark_finished(self.engine.now)
         self.tasks_finished += 1
         self.runtime_lock.release(thread.process)
+        # Loop locals hoisted: one hardware-queue insertion per newly ready
+        # successor is the hot finalization path of this runtime.
+        hw_queue_cycles = self._hw_queue_cycles
+        push_ready = self.push_ready
+        core_id = thread.core_id
         for successor in newly_ready:
-            yield self._hw_queue_cycles
-            self.push_ready(
+            yield hw_queue_cycles
+            push_ready(
                 successor,
-                producer_core=thread.core_id,
+                producer_core=core_id,
                 successor_count=successor.num_successors,
             )
         return None

@@ -29,6 +29,7 @@ class SoftwareRuntime(RuntimeSystem):
     name = "software"
     uses_dmu = False
     honors_scheduler = True
+    inline_software_pop = True
 
     def __init__(self, config, scheduler, engine, noc) -> None:
         super().__init__(config, scheduler, engine, noc)
@@ -69,6 +70,8 @@ class SoftwareRuntime(RuntimeSystem):
 
     # ------------------------------------------------------------------ scheduling
     def try_get_task(self, thread: "SimThread") -> RuntimeGenerator:
+        # The worker wake loop inlines this exact sequence when
+        # inline_software_pop is set (see repro/sim/thread.py) — keep in sync.
         if not self.pool.peek_available():
             return None
         yield self.acquire_runtime_lock

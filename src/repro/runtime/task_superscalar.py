@@ -87,7 +87,9 @@ class TaskSuperscalarRuntime(RuntimeSystem):
 
         Entered with the DMU lock held and ``operation()`` just blocked;
         ``space_target`` was captured before the lock acquisition so no
-        space-freed notification is lost to the lock wait.
+        space-freed notification is lost to the lock wait.  The completed
+        result is detached from the DMU's pooled instance because it is
+        consumed after this generator returns (past further yields).
         """
         process = thread.process
         engine = self.engine
@@ -103,6 +105,7 @@ class TaskSuperscalarRuntime(RuntimeSystem):
             result = operation()
             if result.blocked:
                 continue
+            result = result.detach()
             yield result.cycles
             self.dmu_lock.release(process)
             return result
@@ -121,12 +124,12 @@ class TaskSuperscalarRuntime(RuntimeSystem):
         issue_cycles = self._issue_cycles
         round_trip = self._noc_round_trip[thread.core_id]
         acquire_dmu = self._acquire_dmu_lock
-        space_freed = self.space_freed
+        wait_target = self.space_freed.wait_target
 
         yield self._alloc_cycles
         yield issue_cycles
         yield round_trip
-        space_target = space_freed.wait_target()
+        space_target = wait_target()
         yield acquire_dmu
         result = dmu.create_task(descriptor)
         if result.blocked:
@@ -140,7 +143,7 @@ class TaskSuperscalarRuntime(RuntimeSystem):
         for dependence in definition.dependences:
             yield issue_cycles
             yield round_trip
-            space_target = space_freed.wait_target()
+            space_target = wait_target()
             yield acquire_dmu
             result = dmu.add_dependence(
                 descriptor, dependence.address, dependence.size, dependence.direction
@@ -159,7 +162,7 @@ class TaskSuperscalarRuntime(RuntimeSystem):
 
         yield issue_cycles
         yield round_trip
-        space_target = space_freed.wait_target()
+        space_target = wait_target()
         yield acquire_dmu
         completion = dmu.complete_creation(descriptor)
         if completion.blocked:

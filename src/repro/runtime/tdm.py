@@ -39,6 +39,7 @@ class TDMRuntime(RuntimeSystem):
     name = "tdm"
     uses_dmu = True
     honors_scheduler = True
+    inline_software_pop = True
 
     def __init__(self, config, scheduler, engine, noc) -> None:
         super().__init__(config, scheduler, engine, noc)
@@ -83,6 +84,13 @@ class TDMRuntime(RuntimeSystem):
         :meth:`_finish_blocked_issue` for the cold full-structure path.  This
         generator is kept as the single documented reference (and for any
         future instruction off the hot path); keep the two in sync.
+
+        DMU results are pooled objects, valid only while the DMU lock is
+        held plus the resumption segment that releases it (the simulator is
+        cooperative: another core can only issue an instruction after this
+        process yields).  Call sites must copy any field they need beyond
+        that into locals; the cold path detaches a private copy because its
+        result crosses a wait.
         """
         yield self._issue_cycles
         yield self._noc_round_trip[thread.core_id]
@@ -123,6 +131,9 @@ class TDMRuntime(RuntimeSystem):
             result = operation()
             if result.blocked:
                 continue
+            # Detach from the pooled instance: the NoC-crossing yield below
+            # lets another core issue an instruction that would recycle it.
+            result = result.detach()
             yield result.cycles
             self.dmu_lock.release(process)
             # The response still crosses the NoC once after a blocked wait.
@@ -139,13 +150,13 @@ class TDMRuntime(RuntimeSystem):
         issue_cycles = self._issue_cycles
         round_trip = self._noc_round_trip[thread.core_id]
         acquire_dmu = self._acquire_dmu_lock
-        space_freed = self.space_freed
+        wait_target = self.space_freed.wait_target
         get_ready = dmu.get_ready_task
         drained = 0
         while True:
             yield issue_cycles
             yield round_trip
-            space_target = space_freed.wait_target()
+            space_target = wait_target()
             yield acquire_dmu
             result = get_ready()
             if result.blocked:
@@ -155,14 +166,17 @@ class TDMRuntime(RuntimeSystem):
                 dmu_lock.release(process)
             if result.is_null:
                 return drained
+            # Snapshot before yielding: the pooled result is recycled by the
+            # next get_ready_task once the DMU lock is free.
             instance = self.resolve_descriptor(result.descriptor_address)
+            successor_count = result.num_successors
             yield self._drain_cycles
             yield self.acquire_runtime_lock
             yield self._push_cycles
             self.push_ready(
                 instance,
                 producer_core=thread.core_id,
-                successor_count=result.num_successors,
+                successor_count=successor_count,
             )
             self.runtime_lock.release(process)
             drained += 1
@@ -182,12 +196,12 @@ class TDMRuntime(RuntimeSystem):
         issue_cycles = self._issue_cycles
         round_trip = self._noc_round_trip[thread.core_id]
         acquire_dmu = self._acquire_dmu_lock
-        space_freed = self.space_freed
+        wait_target = self.space_freed.wait_target
 
         yield self._alloc_cycles
         yield issue_cycles
         yield round_trip
-        space_target = space_freed.wait_target()
+        space_target = wait_target()
         yield acquire_dmu
         result = dmu.create_task(descriptor)
         if result.blocked:
@@ -201,7 +215,7 @@ class TDMRuntime(RuntimeSystem):
         for dependence in definition.dependences:
             yield issue_cycles
             yield round_trip
-            space_target = space_freed.wait_target()
+            space_target = wait_target()
             yield acquire_dmu
             result = dmu.add_dependence(
                 descriptor, dependence.address, dependence.size, dependence.direction
@@ -220,7 +234,7 @@ class TDMRuntime(RuntimeSystem):
 
         yield issue_cycles
         yield round_trip
-        space_target = space_freed.wait_target()
+        space_target = wait_target()
         yield acquire_dmu
         completion = dmu.complete_creation(descriptor)
         if completion.blocked:
@@ -238,6 +252,8 @@ class TDMRuntime(RuntimeSystem):
 
     # ------------------------------------------------------------------ scheduling
     def try_get_task(self, thread: "SimThread") -> RuntimeGenerator:
+        # The worker wake loop inlines this exact sequence when
+        # inline_software_pop is set (see repro/sim/thread.py) — keep in sync.
         if not self.pool.peek_available():
             return None
         yield self.acquire_runtime_lock

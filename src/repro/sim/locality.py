@@ -11,30 +11,37 @@ hit that set, scaled by the workload's memory sensitivity.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Iterable, Sequence
+from typing import Dict, Iterable, Sequence
 
 from ..config import LocalityConfig
 
 
 class CoreLocalityTracker:
-    """LRU set of dependence block addresses recently touched by one core."""
+    """LRU set of dependence block addresses recently touched by one core.
+
+    A plain insertion-ordered dict rather than ``OrderedDict``: re-inserting
+    after a delete is the ``move_to_end`` and deleting the first key is the
+    ``popitem(last=False)``, and the builtin's operations are measurably
+    cheaper (touch runs once per executed task).
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        self._blocks: OrderedDict[int, None] = OrderedDict()
+        self._blocks: Dict[int, None] = {}
 
     def touch(self, addresses: Iterable[int]) -> None:
         """Mark ``addresses`` as most recently used on this core."""
+        blocks = self._blocks
         for address in addresses:
-            if address in self._blocks:
-                self._blocks.move_to_end(address)
+            if address in blocks:
+                del blocks[address]
+                blocks[address] = None
             else:
-                self._blocks[address] = None
-                if len(self._blocks) > self.capacity:
-                    self._blocks.popitem(last=False)
+                blocks[address] = None
+                if len(blocks) > self.capacity:
+                    del blocks[next(iter(blocks))]
 
     def hit_fraction(self, addresses: Sequence[int]) -> float:
         """Fraction of ``addresses`` currently tracked by this core."""

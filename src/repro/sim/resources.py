@@ -51,9 +51,10 @@ class Lock:
         return len(self._waiters)
 
     def _enqueue(self, process: "Process") -> None:
-        """Called by the engine when a process yields ``Acquire(self)``."""
+        """Called on a yielded ``Acquire(self)`` (the engine's dispatch
+        inlines the uncontended branch of this method — keep in sync; the
+        contended hand-off lives in :meth:`release`)."""
         if self._holder is None:
-            # Uncontended grant, inlined (the overwhelmingly common case).
             engine = self.engine
             self._holder = process
             self._acquired_at = engine.now
@@ -65,14 +66,6 @@ class Lock:
             if len(waiters) > self.max_queue_length:
                 self.max_queue_length = len(waiters)
 
-    def _grant(self, process: "Process", waited: int) -> None:
-        engine = self.engine
-        self._holder = process
-        self._acquired_at = engine.now
-        self.acquisitions += 1
-        self.total_wait_cycles += waited
-        engine._wake(process, None)
-
     def release(self, process: "Process") -> None:
         """Release the lock; must be called by the current holder."""
         if self._holder is not process:
@@ -80,12 +73,23 @@ class Lock:
             raise SimulationError(
                 f"lock {self.name!r} released by {process.name!r} but held by {holder!r}"
             )
-        now = self.engine.now
+        engine = self.engine
+        now = engine.now
         self.total_hold_cycles += now - self._acquired_at
-        self._holder = None
-        if self._waiters:
-            waiter, enqueued_at = self._waiters.popleft()
-            self._grant(waiter, waited=now - enqueued_at)
+        waiters = self._waiters
+        if waiters:
+            # Hand-off grant, inlined (release runs twice per ISA
+            # instruction under contention): same bookkeeping as _grant.
+            waiter, enqueued_at = waiters.popleft()
+            self._holder = waiter
+            self._acquired_at = now
+            self.acquisitions += 1
+            self.total_wait_cycles += now - enqueued_at
+            seq = engine._seq
+            engine._seq = seq + 1
+            engine._ready.append((seq, waiter, None))
+        else:
+            self._holder = None
 
     def average_wait_cycles(self) -> float:
         """Mean cycles a holder waited before acquiring (0 when uncontended)."""

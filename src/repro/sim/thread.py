@@ -60,6 +60,24 @@ class RegionState:
         return False
 
 
+def _inline_pop_enabled(runtime) -> bool:
+    """Whether the worker loops may inline the software-pool pop.
+
+    True only when the class that provides the runtime's *active*
+    ``try_get_task`` also declares ``inline_software_pop`` in its own body —
+    the declaration asserts "my try_get_task is exactly the inlined
+    sequence".  A subclass that overrides ``try_get_task`` without
+    re-declaring the flag falls back to the generator path instead of being
+    silently bypassed with stale timing.
+    """
+    if not runtime.inline_software_pop:
+        return False
+    for klass in type(runtime).__mro__:
+        if "try_get_task" in vars(klass):
+            return "inline_software_pop" in vars(klass)
+    return False
+
+
 class SimThread:
     """One hardware thread (the simulation pins one thread per core)."""
 
@@ -114,23 +132,48 @@ class SimThread:
 
         runtime = machine.runtime
         timeline = self.timeline
-        wake_channel = runtime.wake_channel
+        # Bound methods hoisted out of the wake loop (it runs once per
+        # worker wake-up, the most frequent control path in a simulation).
+        wait_target = runtime.wake_channel.wait_target
+        work_available = runtime.work_available_hint
         core_id = self.core_id
+        process = self.process
+        inline_pop = _inline_pop_enabled(runtime)
+        if inline_pop:
+            pool = runtime.pool
+            acquire_runtime = runtime.acquire_runtime_lock
+            lock_cycles = runtime._lock_cycles
+            pop_cycles = runtime._pop_cycles
+            runtime_lock = runtime.runtime_lock
         for region_state in machine.region_states:
             # Keep this block in sync with _worker_loop (it is the same loop,
             # inlined to shorten the per-event delegation chain).
             done_event = region_state.done_event
             wait_command = WaitEvent(done_event)
             while not done_event.triggered:
-                wake_target = wake_channel.wait_target()
+                wake_target = wait_target()
                 # The SCHED phase only opens when a pop will actually be
                 # attempted.  On a no-work wake-up the old begin(SCHED)/
                 # begin(IDLE) pair at the same cycle recorded a zero-duration
                 # visit that the timeline discards anyway; skipping it leaves
                 # every phase total identical.
-                if runtime.work_available_hint():
+                if work_available():
                     timeline.begin(Phase.SCHED, engine.now)
-                    entry = yield from runtime.try_get_task(self)
+                    if inline_pop:
+                        # try_get_task, inlined (identical yields; see
+                        # RuntimeSystem.inline_software_pop): one less
+                        # generator + send() frame per pop attempt.
+                        if pool.peek_available():
+                            yield acquire_runtime
+                            yield lock_cycles
+                            entry = pool.pop(core_id)
+                            if entry is not None:
+                                yield pop_cycles
+                            runtime_lock.release(process)
+                        else:
+                            entry = None
+                    else:
+                        entry = yield from runtime.try_get_task(self)
                 else:
                     entry = None
                 if entry is None:
@@ -159,21 +202,43 @@ class SimThread:
         engine = machine.engine
         runtime = machine.runtime
         timeline = self.timeline
-        wake_channel = runtime.wake_channel
+        wait_target = runtime.wake_channel.wait_target
+        work_available = runtime.work_available_hint
         core_id = self.core_id
+        process = self.process
+        inline_pop = _inline_pop_enabled(runtime)
+        if inline_pop:
+            pool = runtime.pool
+            acquire_runtime = runtime.acquire_runtime_lock
+            lock_cycles = runtime._lock_cycles
+            pop_cycles = runtime._pop_cycles
+            runtime_lock = runtime.runtime_lock
         done_event = region_state.done_event
         # Reusable WaitEvent command: the target event changes per wait, so
         # the command is mutated in place instead of allocated per idle spin.
         wait_command = WaitEvent(done_event)
         while not done_event.triggered:
-            wake_target = wake_channel.wait_target()
+            wake_target = wait_target()
             # Skip the generator round trip entirely when no work is visible;
             # try_get_task performs the same hint check first, so the timing
             # and pool behaviour are identical either way.  SCHED opens only
             # when a pop is attempted (see the inlined loop in run()).
-            if runtime.work_available_hint():
+            if work_available():
                 timeline.begin(Phase.SCHED, engine.now)
-                entry = yield from runtime.try_get_task(self)
+                if inline_pop:
+                    # try_get_task, inlined (identical yields; see
+                    # RuntimeSystem.inline_software_pop).
+                    if pool.peek_available():
+                        yield acquire_runtime
+                        yield lock_cycles
+                        entry = pool.pop(core_id)
+                        if entry is not None:
+                            yield pop_cycles
+                        runtime_lock.release(process)
+                    else:
+                        entry = None
+                else:
+                    entry = yield from runtime.try_get_task(self)
             else:
                 entry = None
             if entry is None:

@@ -1,80 +1,135 @@
-"""Task Table, Dependence Table and Ready Queue."""
+"""Task Table, Dependence Table and Ready Queue (columnar storage)."""
 
 import pytest
 
-from repro.core.dependence_table import DependenceTable, DependenceTableEntry
+from repro.core.dependence_table import DependenceTable
 from repro.core.ready_queue import ReadyQueue
-from repro.core.task_table import TaskTable, TaskTableEntry
+from repro.core.task_table import TaskTable
 from repro.errors import DMUProtocolError
 
 
 class TestTaskTable:
-    def test_install_get_free(self):
+    def test_install_read_free(self):
         table = TaskTable(8)
-        entry = TaskTableEntry(descriptor_address=0x1234, successor_list=1, dependence_list=2)
-        table.install(3, entry)
-        assert table.get(3) is entry
+        table.install(3, descriptor_address=0x1234, successor_list=1, dependence_list=2)
+        assert table.descriptor_address[3] == 0x1234
+        assert table.successor_list[3] == 1
+        assert table.dependence_list[3] == 2
+        assert table.predecessor_count[3] == 0
+        assert table.successor_count[3] == 0
+        assert not table.creation_complete[3]
         assert table.occupancy == 1
         table.free(3)
         assert table.occupancy == 0
         assert not table.is_valid(3)
 
+    def test_columns_grow_on_demand(self):
+        table = TaskTable(1 << 20)  # "ideal" sizing costs nothing up front
+        assert len(table.descriptor_address) == 0
+        table.install(5, descriptor_address=0xAB, successor_list=0, dependence_list=1)
+        assert len(table.descriptor_address) == 6
+        assert table.is_valid(5)
+        assert not table.is_valid(4)
+
+    def test_recycled_slot_is_reinitialized(self):
+        table = TaskTable(8)
+        table.install(2, descriptor_address=0x1, successor_list=3, dependence_list=4)
+        table.predecessor_count[2] = 7
+        table.creation_complete[2] = 1
+        table.free(2)
+        table.install(2, descriptor_address=0x2, successor_list=5, dependence_list=6)
+        assert table.predecessor_count[2] == 0
+        assert not table.creation_complete[2]
+        assert table.descriptor_address[2] == 0x2
+
     def test_double_install_rejected(self):
         table = TaskTable(4)
-        table.install(0, TaskTableEntry(descriptor_address=1))
+        table.install(0, descriptor_address=1, successor_list=0, dependence_list=0)
         with pytest.raises(DMUProtocolError):
-            table.install(0, TaskTableEntry(descriptor_address=2))
+            table.install(0, descriptor_address=2, successor_list=0, dependence_list=0)
 
-    def test_get_invalid_rejected(self):
+    def test_require_invalid_rejected(self):
         with pytest.raises(DMUProtocolError):
-            TaskTable(4).get(1)
+            TaskTable(4).require(1)
 
     def test_double_free_rejected(self):
         table = TaskTable(4)
-        table.install(1, TaskTableEntry(descriptor_address=1))
+        table.install(1, descriptor_address=1, successor_list=0, dependence_list=0)
         table.free(1)
         with pytest.raises(DMUProtocolError):
             table.free(1)
 
     def test_out_of_range_id_rejected(self):
         with pytest.raises(DMUProtocolError):
-            TaskTable(4).get(4)
+            TaskTable(4).require(4)
+        with pytest.raises(DMUProtocolError):
+            TaskTable(4).install(4, descriptor_address=0, successor_list=0, dependence_list=0)
+        with pytest.raises(DMUProtocolError):
+            TaskTable(4).free(4)
 
     def test_peak_occupancy(self):
         table = TaskTable(4)
         for task_id in range(3):
-            table.install(task_id, TaskTableEntry(descriptor_address=task_id))
+            table.install(task_id, descriptor_address=task_id, successor_list=0, dependence_list=0)
         table.free(0)
         assert table.peak_occupancy == 3
         assert table.occupancy == 2
 
 
 class TestDependenceTable:
-    def test_install_get_free(self):
+    def test_install_read_free(self):
         table = DependenceTable(8)
-        entry = DependenceTableEntry()
-        table.install(5, entry)
-        assert table.get(5) is entry
+        table.install(5, address=0xBEEF, size=64)
+        assert table.last_writer[5] == -1
+        assert not table.last_writer_valid[5]
+        assert table.reader_list[5] == -1
+        assert table.address[5] == 0xBEEF
+        assert table.size[5] == 64
         table.free(5)
         assert table.occupancy == 0
 
     def test_last_writer_lifecycle(self):
-        entry = DependenceTableEntry()
-        assert not entry.last_writer_valid
-        entry.set_last_writer(7)
-        assert entry.last_writer == 7 and entry.last_writer_valid
-        entry.invalidate_last_writer()
-        assert not entry.last_writer_valid
+        table = DependenceTable(4)
+        table.install(0)
+        table.last_writer[0] = 7
+        table.last_writer_valid[0] = 1
+        assert table.last_writer[0] == 7 and table.last_writer_valid[0]
+        table.last_writer[0] = -1
+        table.last_writer_valid[0] = 0
+        assert not table.last_writer_valid[0]
+
+    def test_recycled_slot_is_reinitialized(self):
+        table = DependenceTable(4)
+        table.install(1, address=0x10, size=4)
+        table.last_writer[1] = 3
+        table.last_writer_valid[1] = 1
+        table.reader_list[1] = 9
+        table.free(1)
+        table.install(1, address=0x20, size=8)
+        assert table.last_writer[1] == -1
+        assert not table.last_writer_valid[1]
+        assert table.reader_list[1] == -1
+        assert table.address[1] == 0x20
 
     def test_double_install_rejected(self):
         table = DependenceTable(4)
-        table.install(0, DependenceTableEntry())
+        table.install(0)
         with pytest.raises(DMUProtocolError):
-            table.install(0, DependenceTableEntry())
+            table.install(0)
 
-    def test_invalid_id_rejected(self):
+    def test_require_invalid_rejected(self):
         with pytest.raises(DMUProtocolError):
-            DependenceTable(4).get(9)
+            DependenceTable(4).require(9)
+        with pytest.raises(DMUProtocolError):
+            DependenceTable(4).require(2)
+
+    def test_is_valid_bounds(self):
+        table = DependenceTable(4)
+        table.install(2)
+        assert table.is_valid(2)
+        assert not table.is_valid(3)
+        with pytest.raises(DMUProtocolError):
+            table.is_valid(4)
 
 
 class TestReadyQueue:
