@@ -22,7 +22,11 @@ Two measurements, recorded in ``BENCH_engine.json``:
   event kernel at all, measured in instructions per second.  This isolates
   the functional-model hot path (the columnar tables and list arrays) from
   kernel overhead; it uses only the public ISA API, so it runs on older
-  trees for ``--record-baseline`` A/B comparisons.
+  trees for ``--record-baseline`` A/B comparisons.  Since the storage
+  backend split the figure is an *interleaved* pure-vs-accel A/B:
+  ``dmu_ops`` is the pure backend, ``dmu_ops_accel`` the numpy-accelerated
+  one (omitted when numpy is unavailable), ``dmu_backend_speedup`` their
+  ratio (target >= 1.5x).
 
 * **Cold single-run wall time** — the fig02/fig12 smoke set (three
   benchmarks, serial, no result cache) simulated from scratch.  This is the
@@ -53,6 +57,7 @@ import json
 import pathlib
 import time
 
+from repro.config import DMU_BACKENDS
 from repro.sim.engine import Engine
 from repro.sim.events import Timeout, WaitEvent
 from repro.sim.resources import Lock
@@ -145,7 +150,7 @@ def measure_raw_kernel(
 
 
 # --------------------------------------------------------------------- raw DMU
-def measure_dmu_ops(num_tasks: int = 6144, window: int = 512):
+def measure_dmu_ops(num_tasks: int = 6144, window: int = 512, backend: str = None):
     """Instructions/second of a synthetic dependence chain on a bare DMU.
 
     Each task writes its own block (WAW edge to the task ``window``
@@ -155,11 +160,16 @@ def measure_dmu_ops(num_tasks: int = 6144, window: int = 512):
     ``window``-th creation on, one ready task is popped and finished per
     creation, holding the in-flight set at the steady-state ``window``.  No
     event kernel is involved: this is the pure functional-model hot path.
+
+    ``backend`` selects the DMU storage backend ('pure'/'accel'); ``None``
+    keeps the config default, which also keeps the call compatible with
+    pre-backend trees under the ``--record-baseline`` protocol.
     """
     from repro.config import DMUConfig
     from repro.core.dmu import DependenceManagementUnit
 
-    dmu = DependenceManagementUnit(DMUConfig())
+    config = DMUConfig() if backend is None else DMUConfig(backend=backend)
+    dmu = DependenceManagementUnit(config)
     descriptor_base = 0x8AB0_0000_0000
     descriptor_stride = 0x140
     block = 4096
@@ -215,12 +225,13 @@ def measure_dmu_ops(num_tasks: int = 6144, window: int = 512):
 
 
 # --------------------------------------------------------------------- cold smoke
-def measure_cold_smoke(scale: float = 0.1, experiments=SMOKE_EXPERIMENTS):
+def measure_cold_smoke(scale: float = 0.1, experiments=SMOKE_EXPERIMENTS,
+                       backend: str = None):
     """Wall time of an experiment smoke set, cold (serial, no cache)."""
     from repro.experiments.common import SimulationRunner
     from repro.experiments.registry import run_experiment
 
-    runner = SimulationRunner(scale=scale)
+    runner = SimulationRunner(scale=scale, backend=backend)
     start = time.perf_counter()
     rows = 0
     for name in experiments:
@@ -245,7 +256,38 @@ def _best(measure, repeat: int):
     return min(results, key=lambda result: result["seconds"])
 
 
-def run_measurements(scale: float, repeat: int, full: bool = False) -> dict:
+def measure_dmu_backend_ab(repeat: int) -> dict:
+    """Interleaved pure-vs-accel A/B of the DMU instruction benchmark.
+
+    Repetitions alternate backends (pure, accel, pure, accel, ...) so both
+    sides see the same slice of machine noise — a back-to-back block per
+    backend would attribute a background spike entirely to one of them.
+    When numpy is missing the accel figure is omitted (recording the silent
+    pure fallback as an "accel" number would be a lie).
+    """
+    from repro.core.backends import numpy_available
+
+    pure_runs, accel_runs = [], []
+    for _ in range(repeat):
+        pure_runs.append(measure_dmu_ops(backend="pure"))
+        if numpy_available():
+            accel_runs.append(measure_dmu_ops(backend="accel"))
+    pure = min(pure_runs, key=lambda run: run["seconds"])
+    figures = {"dmu_ops": dict(pure, backend="pure")}
+    if accel_runs:
+        accel = min(accel_runs, key=lambda run: run["seconds"])
+        figures["dmu_ops_accel"] = dict(accel, backend="accel")
+        figures["dmu_backend_speedup"] = round(
+            accel["ops_per_sec"] / pure["ops_per_sec"], 2
+        )
+    return figures
+
+
+def run_measurements(scale: float, repeat: int, full: bool = False,
+                     backend: str = None) -> dict:
+    """All figures.  ``backend`` selects the DMU backend of the cold-smoke
+    simulations (recorded alongside when set); the ``dmu_ops`` figures are
+    always the interleaved pure-vs-accel A/B regardless."""
     measured = {
         "raw_kernel_command_objects": _best(
             lambda: measure_raw_kernel(use_int_yields=False), repeat
@@ -254,15 +296,18 @@ def run_measurements(scale: float, repeat: int, full: bool = False) -> dict:
         "raw_kernel_far_future": _best(
             lambda: measure_raw_kernel(use_int_yields=True, far_future=True), repeat
         ),
-        "dmu_ops": _best(measure_dmu_ops, repeat),
-        "cold_smoke": _best(lambda: measure_cold_smoke(scale), repeat),
+        "cold_smoke": _best(lambda: measure_cold_smoke(scale, backend=backend), repeat),
         "repeat": repeat,
     }
+    if backend is not None:
+        measured["cold_smoke"]["backend"] = backend
+    measured.update(measure_dmu_backend_ab(repeat))
     if full:
         # Separate figure: the recorded default metric (cold_smoke) stays
         # comparable across records whether or not --full was requested.
         measured["cold_smoke_full"] = _best(
-            lambda: measure_cold_smoke(scale, FULL_SMOKE_EXPERIMENTS), repeat
+            lambda: measure_cold_smoke(scale, FULL_SMOKE_EXPERIMENTS, backend=backend),
+            repeat,
         )
         measured["full_experiments"] = list(FULL_SMOKE_EXPERIMENTS)
     return measured
@@ -287,6 +332,15 @@ def _speedup(baseline: dict, measured: dict) -> dict:
         speedup["dmu_ops_per_sec"] = round(
             cur_dmu["ops_per_sec"] / base_dmu["ops_per_sec"], 2
         )
+    cur_accel = measured.get("dmu_ops_accel")
+    if cur_accel:
+        # Pre-backend baselines only have the (pure) dmu_ops figure; it is
+        # the honest reference for the accel backend too.
+        base_accel = baseline.get("dmu_ops_accel") or base_dmu
+        if base_accel:
+            speedup["dmu_ops_accel_per_sec"] = round(
+                cur_accel["ops_per_sec"] / base_accel["ops_per_sec"], 2
+            )
     return speedup
 
 
@@ -313,16 +367,44 @@ def run_check(args) -> int:
             f"not {args.scale}; the ratio would be meaningless"
         )
         return 1
-    measured = run_measurements(args.scale, args.repeat)
+    measured = run_measurements(args.scale, args.repeat, backend=args.backend)
+    failures = []
     ratio = measured["cold_smoke"]["seconds"] / baseline["cold_smoke"]["seconds"]
     print(
         f"perf-smoke: cold smoke {measured['cold_smoke']['seconds']}s vs baseline "
         f"{baseline['cold_smoke']['seconds']}s ({ratio:.2f}x, tolerance {args.tolerance}x)"
     )
+    if ratio > args.tolerance:
+        failures.append("cold smoke regressed beyond the noise tolerance")
+
+    # DMU throughput gate, per backend.  Baselines recorded before the
+    # backend split only carry the (pure) dmu_ops figure; it doubles as the
+    # reference for the accel leg — accel slower than old pure is always a
+    # regression.  A backend with neither a measurement nor a baseline
+    # figure is skipped, so the gate degrades gracefully on trees/machines
+    # without numpy.
+    base_pure = baseline.get("dmu_ops")
+    for figure in ("dmu_ops", "dmu_ops_accel"):
+        current = measured.get(figure)
+        reference = baseline.get(figure) or base_pure
+        if not current or not reference:
+            continue
+        dmu_ratio = reference["ops_per_sec"] / current["ops_per_sec"]
+        print(
+            f"perf-smoke: {figure} {current['ops_per_sec']}/s vs baseline "
+            f"{reference['ops_per_sec']}/s ({dmu_ratio:.2f}x, tolerance {args.tolerance}x)"
+        )
+        if dmu_ratio > args.tolerance:
+            failures.append(f"{figure} throughput regressed beyond the noise tolerance")
+    ab_speedup = measured.get("dmu_backend_speedup")
+    if ab_speedup is not None:
+        print(f"perf-smoke: dmu accel-vs-pure speedup {ab_speedup}x (target >= 1.5x)")
+
     for name, value in sorted(_speedup(baseline, measured).items()):
         print(f"perf-smoke: advisory speedup {name}: {value}x")
-    if ratio > args.tolerance:
-        print("perf-smoke: FAIL — cold smoke regressed beyond the noise tolerance")
+    if failures:
+        for failure in failures:
+            print(f"perf-smoke: FAIL — {failure}")
         return 1
     print("perf-smoke: OK")
     return 0
@@ -346,6 +428,12 @@ def main() -> None:
              "(recorded as cold_smoke_full; the default metric is unchanged)",
     )
     parser.add_argument(
+        "--backend", choices=DMU_BACKENDS, default=None,
+        help="DMU storage backend for the cold-smoke simulations (default: "
+             "the config default; the dmu_ops figures always record the "
+             "interleaved pure-vs-accel A/B)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="re-measure and compare against the recorded baseline without "
@@ -364,7 +452,8 @@ def main() -> None:
     if args.output.exists():
         record = json.loads(args.output.read_text(encoding="utf-8"))
 
-    measured = run_measurements(args.scale, args.repeat, full=args.full)
+    measured = run_measurements(args.scale, args.repeat, full=args.full,
+                                backend=args.backend)
     measured["scale"] = args.scale
     measured["experiments"] = list(SMOKE_EXPERIMENTS)
     measured["benchmarks"] = SMOKE_BENCHMARKS

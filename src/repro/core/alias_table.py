@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..errors import DMUStructureFullError
+from .backends import StorageBackend, resolve_backend
 
 
 def dat_index_start_bit(size: int) -> int:
@@ -52,6 +53,7 @@ class AliasTable:
         associativity: int,
         index_start_bit: int = 0,
         dynamic_index: bool = False,
+        backend: Optional[StorageBackend] = None,
     ) -> None:
         if num_entries % associativity != 0:
             raise ValueError("num_entries must be a multiple of associativity")
@@ -61,13 +63,15 @@ class AliasTable:
         self.num_sets = num_entries // associativity
         self.index_start_bit = index_start_bit
         self.dynamic_index = dynamic_index
+        backend = backend if backend is not None else resolve_backend()
+        self._backend = backend
         # Way columns: set with slab number s owns slots
         # [s * associativity, (s + 1) * associativity) of both columns, with
         # its live-way count in _set_count[s].  Slabs are handed out lazily.
         self._slab_of_set: Dict[int, int] = {}
-        self._way_address: List[int] = []
-        self._way_id: List[int] = []
-        self._set_count: List[int] = []
+        self._way_address: List[int] = backend.make_slab()
+        self._way_id: List[int] = backend.make_slab()
+        self._set_count: List[int] = backend.make_column()
         self._by_address: Dict[int, int] = {}
         self._address_set: Dict[int, int] = {}
         # Occupied-set count maintained incrementally: allocate/release keep
@@ -209,6 +213,15 @@ class AliasTable:
             self._occupied_sets -= 1
         self._recycled_ids.append(internal_id)
         return internal_id
+
+    def audit(self) -> Dict[str, int]:
+        """Whole-structure occupancy recount from the raw way columns.
+
+        Delegates to the backend (vectorized under ``accel``); the
+        differential tests compare this ground truth against the maintained
+        ``_occupied_sets`` counter and the address directory.
+        """
+        return self._backend.audit_alias_table(self)
 
     def address_of(self, internal_id: int) -> Optional[int]:
         """Reverse lookup (used by tests and debugging; not a hardware path)."""

@@ -1,0 +1,104 @@
+"""Pluggable storage/execution backends for the columnar DMU core.
+
+Two backends ship:
+
+``pure``
+    Plain Python lists and the DMU's own instruction methods — the reference
+    implementation, always available, and the default.
+
+``accel``
+    Same column layout, but :meth:`~repro.core.backends.base.StorageBackend.install`
+    rebinds the five ISA instructions to specialized closure kernels with
+    batched counter commits, and the audit scans are vectorized with numpy.
+    Requires numpy; when numpy is not importable, resolution falls back to
+    ``pure`` with a :class:`RuntimeWarning` (results are identical either
+    way — only throughput differs).
+
+Backends are **execution strategies, not semantics**: every backend must
+produce byte-identical simulation results, which is why
+:func:`repro.experiments.cache.canonical_run_key` excludes the
+``DMUConfig.backend`` field and cache entries / shard merges are shared
+across backends.  The differential tests in
+``tests/test_columnar_differential.py`` enforce the identity contract.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+from ...config import DMU_BACKENDS
+from ...errors import ConfigurationError
+from .base import StorageBackend
+
+#: Recognized backend names, in preference order.
+BACKEND_NAMES = DMU_BACKENDS
+
+#: The backend used when none is requested.
+DEFAULT_BACKEND = "pure"
+
+#: Resolved backend singletons, keyed by name.  Backends are stateless
+#: (all per-DMU state lives on the DMU the kernels are installed on), so a
+#: single shared instance per name is safe and keeps resolution O(dict get)
+#: on the DMU construction path.
+_INSTANCES: dict = {}
+
+
+def numpy_available() -> bool:
+    """True when numpy can be imported (the ``accel`` backend's requirement).
+
+    A plain module-level function so tests can monkeypatch it to simulate a
+    numpy-less host and exercise the fallback path.
+    """
+    try:
+        import numpy  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def resolve_backend(name: Optional[str] = None) -> StorageBackend:
+    """Resolve a backend name to its singleton instance.
+
+    ``None`` means :data:`DEFAULT_BACKEND`.  Unknown names raise
+    :class:`~repro.errors.ConfigurationError` (mirroring
+    ``DMUConfig.validate``); ``accel`` without numpy degrades to ``pure``
+    with a :class:`RuntimeWarning` instead of failing, so a config produced
+    on a numpy-equipped host still runs — identically — anywhere.
+    """
+    if name is None:
+        name = DEFAULT_BACKEND
+    if name not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown DMU backend: {name!r} (expected one of {BACKEND_NAMES})"
+        )
+    if name == "accel" and not numpy_available():
+        warnings.warn(
+            "DMU backend 'accel' requires numpy, which is not importable; "
+            "falling back to the 'pure' backend (results are identical, only "
+            "throughput differs)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        name = "pure"
+    backend = _INSTANCES.get(name)
+    if backend is None:
+        if name == "accel":
+            from .accel import AccelBackend
+
+            backend = AccelBackend()
+        else:
+            from .pure import PureBackend
+
+            backend = PureBackend()
+        _INSTANCES[name] = backend
+    return backend
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "StorageBackend",
+    "numpy_available",
+    "resolve_backend",
+]

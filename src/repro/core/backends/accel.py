@@ -1,0 +1,775 @@
+"""The ``accel`` storage backend: specialized kernels + numpy audit scans.
+
+Where the speed comes from
+--------------------------
+
+Profiling the pure DMU shows the per-instruction cost is almost entirely
+CPython interpreter overhead *around* tiny data: every hot scan touches at
+most ``elements_per_list_entry`` (8) slots or ``associativity`` (8) ways, so
+there is no bulk work for numpy to amortize its per-call cost against —
+numpy scalar indexing is 4-6x slower than list indexing.  What *can* be
+removed is the interpreter overhead itself:
+
+* **Specialized closure kernels.**  :meth:`AccelBackend.install` rebinds the
+  five ISA instructions (``create_task``, ``add_dependence``,
+  ``complete_creation``, ``finish_task``, ``get_ready_task``) to closures
+  that bind every column, free list and pooled result object as a cell
+  variable (no ``self._...`` attribute chains on the hot path) and inline
+  the single-entry-chain fast paths of the list arrays (the overwhelmingly
+  common shape) that the pure path reaches through method calls.
+
+* **Batched counter commits.**  The pure path updates ~10 statistics
+  counters (two ``Counter`` mappings plus scalars) per instruction.  The
+  kernels accumulate all of them into one flat pending list and commit on
+  demand: the DMU's ``stats`` property calls the installed flush before any
+  external read, so observed totals are always byte-identical to pure.
+
+* **Vectorized audits.**  The whole-structure recount scans
+  (:meth:`audit_list_array`, :meth:`audit_alias_table`) sweep every slot of
+  a slab — thousands of elements, genuinely bulk — and are implemented with
+  numpy here.
+
+Identity contract
+-----------------
+
+Every kernel replicates its pure counterpart *exactly*: same charged access
+counts, same structure-access attribution, same blocked-structure order,
+same exception types and messages, same allocation/recycling order (fresh
+counters + LIFO stacks), same pooled result objects.  The differential tests
+in ``tests/test_columnar_differential.py`` drive randomized op streams
+through both backends and require identical results, stats, occupancy
+counters and recycle order; the digest tests require the 11 experiment CSVs
+and the pinned runtime cycles to be byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...errors import DMUProtocolError, UnknownTaskError
+from .base import INVALID_ELEMENT, StorageBackend
+
+# Pending-counter cells: one flat list shared by all five kernels of a DMU.
+# Structure accesses...
+_P_TAT = 0
+_P_DAT = 1
+_P_TT = 2
+_P_DT = 3
+_P_SLA = 4
+_P_DLA = 5
+_P_RLA = 6
+_P_RQ = 7
+# ...instruction counts...
+_P_I_CREATE = 8
+_P_I_ADD = 9
+_P_I_COMPLETE = 10
+_P_I_FINISH = 11
+_P_I_READY = 12
+# ...DMUStats scalars...
+_P_CYCLES = 13
+_P_CREATED = 14
+_P_FINISHED = 15
+_P_DEPS = 16
+_P_READY_POPS = 17
+_P_NULL_POPS = 18
+# ...alias-table bookkeeping.
+_P_TAT_LOOKUPS = 19
+_P_DAT_LOOKUPS = 20
+_P_OCC_SAMPLES = 21
+_P_OCC_TOTAL = 22
+_P_CELLS = 23
+
+
+class AccelBackend(StorageBackend):
+    """Specialized instruction kernels, batched counters, numpy audits."""
+
+    name = "accel"
+
+    def __init__(self) -> None:
+        import numpy
+
+        self._np = numpy
+
+    # ------------------------------------------------------------------ audits
+    def audit_list_array(self, list_array) -> Dict[str, int]:
+        np = self._np
+        in_use = np.fromiter(list_array._in_use, np.int64, len(list_array._in_use))
+        elements = np.fromiter(list_array._elements, np.int64, len(list_array._elements))
+        valid = np.fromiter(list_array._valid, np.int64, len(list_array._valid))
+        entries_in_use = int(np.count_nonzero(in_use))
+        return {
+            "entries_in_use": entries_in_use,
+            "free_entries": list_array.num_entries - entries_in_use,
+            "live_elements": int(np.count_nonzero(elements != INVALID_ELEMENT)),
+            "valid_total": int(valid.sum()),
+        }
+
+    def audit_alias_table(self, alias_table) -> Dict[str, int]:
+        np = self._np
+        counts = np.fromiter(alias_table._set_count, np.int64, len(alias_table._set_count))
+        return {
+            "occupied_sets": int(np.count_nonzero(counts)),
+            "entries_in_use": int(counts.sum()),
+            "directory_entries": len(alias_table._by_address),
+        }
+
+    # ------------------------------------------------------------------ dispatch
+    def install(self, dmu) -> None:  # noqa: C901 - one closure factory per ISA instruction
+        """Rebind the five ISA instructions on ``dmu`` to specialized kernels."""
+        # Structure names (imported lazily: this module is only imported at
+        # resolve time, well after repro.core.dmu finished loading).
+        from ..dmu import DAT, DEP_TABLE, DLA, READY_QUEUE, RLA, SLA, TASK_TABLE, TAT
+
+        pend = [0] * _P_CELLS
+        stats = dmu._stats
+
+        tat = dmu.tat
+        dat = dmu.dat
+        tat_by = tat._by_address
+        dat_by = dat._by_address
+        tat_can_allocate = tat.can_allocate
+        tat_allocate = tat.allocate
+        tat_release = tat.release
+        dat_can_allocate = dat.can_allocate
+        dat_allocate = dat.allocate
+        dat_release = dat.release
+
+        task_table = dmu.task_table
+        tt_descriptor = task_table.descriptor_address
+        tt_pred = task_table.predecessor_count
+        tt_succ = task_table.successor_count
+        tt_succ_list = task_table.successor_list
+        tt_dep_list = task_table.dependence_list
+        tt_complete = task_table.creation_complete
+        tt_valid = task_table.valid
+        tt_install = task_table.install
+
+        dependence_table = dmu.dependence_table
+        dt_last_writer = dependence_table.last_writer
+        dt_lw_valid = dependence_table.last_writer_valid
+        dt_reader_list = dependence_table.reader_list
+        dt_valid = dependence_table.valid
+        dt_address = dependence_table.address
+        dt_size = dependence_table.size
+        dt_grow_to = dependence_table._grow_to
+
+        per = dmu._per_entry
+        access_cycles = dmu._access_cycles
+
+        sla = dmu.successor_lists
+        sla_elements = sla._elements
+        sla_next = sla._next
+        sla_in_use = sla._in_use
+        sla_valid = sla._valid
+        sla_list_valid = sla._list_valid
+        sla_list_entries = sla._list_entries
+        sla_tail = sla._tail
+        sla_recycled = sla._recycled
+        sla_blank = sla._blank_row
+        sla_num_entries = sla.num_entries
+        sla_allocate_entry = sla._allocate_entry
+        sla_append = sla.append
+        sla_iterate = sla.iterate
+        sla_free_list = sla.free_list
+
+        dla = dmu.dependence_lists
+        dla_elements = dla._elements
+        dla_next = dla._next
+        dla_in_use = dla._in_use
+        dla_valid = dla._valid
+        dla_list_valid = dla._list_valid
+        dla_list_entries = dla._list_entries
+        dla_tail = dla._tail
+        dla_recycled = dla._recycled
+        dla_blank = dla._blank_row
+        dla_num_entries = dla.num_entries
+        dla_allocate_entry = dla._allocate_entry
+        dla_append = dla.append
+        dla_iterate = dla.iterate
+        dla_free_list = dla.free_list
+
+        rla = dmu.reader_lists
+        rla_valid = rla._valid
+        rla_list_valid = rla._list_valid
+        rla_tail = rla._tail
+        rla_new_list_head = rla.new_list_head
+        rla_append = rla.append
+        rla_iterate = rla.iterate
+        rla_remove = rla.remove
+        rla_flush = rla.flush
+        rla_free_list = rla.free_list
+
+        ready_queue = dmu.ready_queue
+        rq_queue = ready_queue._queue
+        rq_popleft = rq_queue.popleft
+        ready_push = dmu._ready_push
+
+        blocked = dmu._blocked
+        create_result = dmu._create_result
+        add_result = dmu._add_result
+        complete_result = dmu._complete_result
+        finish_result = dmu._finish_result
+        ready_result = dmu._ready_result
+        null_ready_result = dmu._null_ready_result
+        create_cycles = create_result.cycles
+        no_readers = ()
+
+        # ---------------------------------------------------------- flush
+        def flush() -> None:
+            """Commit every pending counter into the shared DMUStats.
+
+            Zero-valued cells are skipped so the Counter mappings never gain
+            keys the pure path would not have created.
+            """
+            structure_accesses = stats.structure_accesses
+            instructions = stats.instructions
+            value = pend[_P_TAT]
+            if value:
+                structure_accesses[TAT] += value
+                pend[_P_TAT] = 0
+            value = pend[_P_DAT]
+            if value:
+                structure_accesses[DAT] += value
+                pend[_P_DAT] = 0
+            value = pend[_P_TT]
+            if value:
+                structure_accesses[TASK_TABLE] += value
+                pend[_P_TT] = 0
+            value = pend[_P_DT]
+            if value:
+                structure_accesses[DEP_TABLE] += value
+                pend[_P_DT] = 0
+            value = pend[_P_SLA]
+            if value:
+                structure_accesses[SLA] += value
+                pend[_P_SLA] = 0
+            value = pend[_P_DLA]
+            if value:
+                structure_accesses[DLA] += value
+                pend[_P_DLA] = 0
+            value = pend[_P_RLA]
+            if value:
+                structure_accesses[RLA] += value
+                pend[_P_RLA] = 0
+            value = pend[_P_RQ]
+            if value:
+                structure_accesses[READY_QUEUE] += value
+                pend[_P_RQ] = 0
+            value = pend[_P_I_CREATE]
+            if value:
+                instructions["create_task"] += value
+                pend[_P_I_CREATE] = 0
+            value = pend[_P_I_ADD]
+            if value:
+                instructions["add_dependence"] += value
+                pend[_P_I_ADD] = 0
+            value = pend[_P_I_COMPLETE]
+            if value:
+                instructions["complete_creation"] += value
+                pend[_P_I_COMPLETE] = 0
+            value = pend[_P_I_FINISH]
+            if value:
+                instructions["finish_task"] += value
+                pend[_P_I_FINISH] = 0
+            value = pend[_P_I_READY]
+            if value:
+                instructions["get_ready_task"] += value
+                pend[_P_I_READY] = 0
+            value = pend[_P_CYCLES]
+            if value:
+                stats.total_cycles += value
+                pend[_P_CYCLES] = 0
+            value = pend[_P_CREATED]
+            if value:
+                stats.tasks_created += value
+                pend[_P_CREATED] = 0
+            value = pend[_P_FINISHED]
+            if value:
+                stats.tasks_finished += value
+                pend[_P_FINISHED] = 0
+            value = pend[_P_DEPS]
+            if value:
+                stats.dependences_added += value
+                pend[_P_DEPS] = 0
+            value = pend[_P_READY_POPS]
+            if value:
+                stats.ready_pops += value
+                pend[_P_READY_POPS] = 0
+            value = pend[_P_NULL_POPS]
+            if value:
+                stats.null_ready_pops += value
+                pend[_P_NULL_POPS] = 0
+            value = pend[_P_TAT_LOOKUPS]
+            if value:
+                tat.lookups += value
+                pend[_P_TAT_LOOKUPS] = 0
+            value = pend[_P_DAT_LOOKUPS]
+            if value:
+                dat.lookups += value
+                pend[_P_DAT_LOOKUPS] = 0
+            value = pend[_P_OCC_SAMPLES]
+            if value:
+                dat._occupied_set_samples += value
+                pend[_P_OCC_SAMPLES] = 0
+            value = pend[_P_OCC_TOTAL]
+            if value:
+                dat._occupied_set_total += value
+                pend[_P_OCC_TOTAL] = 0
+
+        # ---------------------------------------------------------- create_task
+        def create_task(descriptor_address):
+            if descriptor_address in tat_by:
+                raise DMUProtocolError(
+                    f"task descriptor {descriptor_address:#x} created twice"
+                )
+            if not tat_can_allocate(descriptor_address):
+                return blocked(TAT)
+            if sla.free_entries < 1:
+                return blocked(SLA)
+            if dla.free_entries < 1:
+                return blocked(DLA)
+
+            task_id = tat_allocate(descriptor_address)
+            # Inlined sla.new_list_head() (recycled-entry fast path; the
+            # pre-check above guarantees a free entry exists).
+            if sla_recycled:
+                successor_list = sla_recycled.pop()
+                sla_in_use[successor_list] = 1
+                free = sla.free_entries - 1
+                sla.free_entries = free
+                in_use_count = sla_num_entries - free
+                if in_use_count > sla.peak_entries_used:
+                    sla.peak_entries_used = in_use_count
+            else:
+                successor_list = sla_allocate_entry()
+            sla_list_valid[successor_list] = 0
+            sla_list_entries[successor_list] = 1
+            sla_tail[successor_list] = successor_list
+            # Inlined dla.new_list_head().
+            if dla_recycled:
+                dependence_list = dla_recycled.pop()
+                dla_in_use[dependence_list] = 1
+                free = dla.free_entries - 1
+                dla.free_entries = free
+                in_use_count = dla_num_entries - free
+                if in_use_count > dla.peak_entries_used:
+                    dla.peak_entries_used = in_use_count
+            else:
+                dependence_list = dla_allocate_entry()
+            dla_list_valid[dependence_list] = 0
+            dla_list_entries[dependence_list] = 1
+            dla_tail[dependence_list] = dependence_list
+            # Inlined task_table.install() (in-range fast path; TAT IDs are
+            # dense in [0, num_entries) by construction).
+            if task_id >= task_table._size:
+                tt_install(task_id, descriptor_address, successor_list, dependence_list)
+            else:
+                if tt_valid[task_id]:
+                    raise DMUProtocolError(f"Task Table entry {task_id} is already in use")
+                tt_descriptor[task_id] = descriptor_address
+                tt_pred[task_id] = 0
+                tt_succ[task_id] = 0
+                tt_succ_list[task_id] = successor_list
+                tt_dep_list[task_id] = dependence_list
+                tt_complete[task_id] = 0
+                tt_valid[task_id] = 1
+                occupancy = task_table._occupancy + 1
+                task_table._occupancy = occupancy
+                if occupancy > task_table.peak_occupancy:
+                    task_table.peak_occupancy = occupancy
+
+            pend[_P_TAT] += 2
+            pend[_P_SLA] += 1
+            pend[_P_DLA] += 1
+            pend[_P_TT] += 1
+            pend[_P_I_CREATE] += 1
+            pend[_P_CYCLES] += create_cycles
+            pend[_P_CREATED] += 1
+            create_result.task_id = task_id
+            return create_result
+
+        # ---------------------------------------------------------- add_dependence
+        def add_dependence(descriptor_address, dependence_address, size, direction):
+            if direction == "out":
+                is_out = True
+            elif direction == "in":
+                is_out = False
+            else:
+                raise DMUProtocolError(f"invalid dependence direction: {direction!r}")
+            pend[_P_TAT_LOOKUPS] += 1
+            task_id = tat_by.get(descriptor_address)
+            if task_id is None:
+                raise UnknownTaskError(
+                    f"task descriptor {descriptor_address:#x} is not tracked by the DMU"
+                )
+            pend[_P_DAT_LOOKUPS] += 1
+            dep_id = dat_by.get(dependence_address)
+            dep_is_new = dep_id is None
+            readers = no_readers
+            if dep_is_new:
+                reader_list = -1
+                writer_id = -1
+                # Capacity pre-checks (uncharged; Blocked order is pinned:
+                # DAT, DLA, SLA, RLA).
+                if not dat_can_allocate(dependence_address, size):
+                    return blocked(DAT)
+            else:
+                reader_list = dt_reader_list[dep_id]
+                writer_id = dt_last_writer[dep_id] if dt_lw_valid[dep_id] else -1
+                if is_out and reader_list >= 0:
+                    readers, _ = rla_iterate(reader_list)
+
+            task_dependence_list = tt_dep_list[task_id]
+            if dla_valid[dla_tail[task_dependence_list]] == per and dla.free_entries < 1:
+                return blocked(DLA)
+
+            needed_sla = 0
+            if writer_id >= 0 and writer_id != task_id:
+                if sla_valid[sla_tail[tt_succ_list[writer_id]]] == per:
+                    needed_sla += 1
+            if is_out:
+                for reader_id in readers:
+                    if reader_id == task_id:
+                        continue
+                    if sla_valid[sla_tail[tt_succ_list[reader_id]]] == per:
+                        needed_sla += 1
+            if needed_sla and sla.free_entries < needed_sla:
+                return blocked(SLA)
+
+            if not is_out:
+                if reader_list < 0:
+                    needed_rla = 1
+                else:
+                    needed_rla = 1 if rla_valid[rla_tail[reader_list]] == per else 0
+                if needed_rla and rla.free_entries < 1:
+                    return blocked(RLA)
+
+            # Mutation phase (charged accesses identical to pure).
+            accesses = 3  # TAT lookup + Task Table read + DAT lookup
+            pend[_P_TAT] += 1
+            pend[_P_TT] += 1
+            if dep_is_new:
+                dep_id = dat_allocate(dependence_address, size)
+                # Inlined dependence_table.install() (DAT IDs are dense in
+                # range by construction).
+                if dep_id >= dependence_table._size:
+                    dt_grow_to(dep_id + 1)
+                elif dt_valid[dep_id]:
+                    raise DMUProtocolError(
+                        f"Dependence Table entry {dep_id} is already in use"
+                    )
+                dt_last_writer[dep_id] = -1
+                dt_lw_valid[dep_id] = 0
+                dt_reader_list[dep_id] = -1
+                dt_valid[dep_id] = 1
+                dt_address[dep_id] = dependence_address
+                dt_size[dep_id] = size
+                occupancy = dependence_table._occupancy + 1
+                dependence_table._occupancy = occupancy
+                if occupancy > dependence_table.peak_occupancy:
+                    dependence_table.peak_occupancy = occupancy
+                accesses += 2  # DAT directory write + Dependence Table install
+                pend[_P_DAT] += 2
+                pend[_P_DT] += 1
+            else:
+                accesses += 1  # Dependence Table read
+                pend[_P_DAT] += 1
+                pend[_P_DT] += 1
+
+            predecessors_added = 0
+
+            # "Insert depID in dependence list of taskID" — inlined
+            # append-only append (tail-not-full fast path).  The marker
+            # comparison keeps the fast path from storing the invalid-element
+            # value; the general append raises exactly as pure does.
+            tail = dla_tail[task_dependence_list]
+            tail_valid = dla_valid[tail]
+            if tail_valid < per and dep_id != INVALID_ELEMENT:
+                dla_elements[tail * per + tail_valid] = dep_id
+                dla_valid[tail] = tail_valid + 1
+                dla_list_valid[task_dependence_list] += 1
+                dla_accesses = dla_list_entries[task_dependence_list]
+            else:
+                dla_accesses = dla_append(task_dependence_list, dep_id)
+            accesses += dla_accesses
+            pend[_P_DLA] += dla_accesses
+
+            # RAW / WAW / WAR-with-writer edge.
+            if writer_id >= 0 and writer_id != task_id:
+                head = tt_succ_list[writer_id]
+                tail = sla_tail[head]
+                tail_valid = sla_valid[tail]
+                if tail_valid < per and task_id != INVALID_ELEMENT:
+                    sla_elements[tail * per + tail_valid] = task_id
+                    sla_valid[tail] = tail_valid + 1
+                    sla_list_valid[head] += 1
+                    sla_accesses = sla_list_entries[head]
+                else:
+                    sla_accesses = sla_append(head, task_id)
+                accesses += sla_accesses + 2
+                pend[_P_SLA] += sla_accesses
+                pend[_P_TT] += 2
+                tt_succ[writer_id] += 1
+                tt_pred[task_id] += 1
+                predecessors_added = 1
+
+            if not is_out:
+                # "Insert taskID in reader list of depID"
+                if reader_list < 0:
+                    reader_list = rla_new_list_head()
+                    dt_reader_list[dep_id] = reader_list
+                    accesses += 1
+                    pend[_P_RLA] += 1
+                rla_accesses = rla_append(reader_list, task_id)
+                accesses += rla_accesses
+                pend[_P_RLA] += rla_accesses
+            else:
+                # WAR edges: every current reader gains this task as a successor.
+                war_sla_accesses = 0
+                war_edges = 0
+                for reader_id in readers:
+                    if reader_id == task_id:
+                        continue
+                    head = tt_succ_list[reader_id]
+                    tail = sla_tail[head]
+                    tail_valid = sla_valid[tail]
+                    if tail_valid < per and task_id != INVALID_ELEMENT:
+                        sla_elements[tail * per + tail_valid] = task_id
+                        sla_valid[tail] = tail_valid + 1
+                        sla_list_valid[head] += 1
+                        war_sla_accesses += sla_list_entries[head]
+                    else:
+                        war_sla_accesses += sla_append(head, task_id)
+                    tt_succ[reader_id] += 1
+                    war_edges += 1
+                if war_edges:
+                    accesses += war_sla_accesses + 2 * war_edges
+                    pend[_P_SLA] += war_sla_accesses
+                    pend[_P_TT] += 2 * war_edges
+                    tt_pred[task_id] += war_edges
+                    predecessors_added += war_edges
+                # "Flush reader list of depID"
+                if reader_list >= 0:
+                    rla_accesses = rla_flush(reader_list)
+                    accesses += rla_accesses
+                    pend[_P_RLA] += rla_accesses
+                # "Set lastWriterID of depID to taskID and mark valid"
+                dt_last_writer[dep_id] = task_id
+                dt_lw_valid[dep_id] = 1
+                accesses += 1
+                pend[_P_DT] += 1
+
+            # dat.sample_occupancy(), batched.
+            pend[_P_OCC_SAMPLES] += 1
+            pend[_P_OCC_TOTAL] += dat._occupied_sets
+            cycles = accesses * access_cycles
+            pend[_P_I_ADD] += 1
+            pend[_P_CYCLES] += cycles
+            pend[_P_DEPS] += 1
+            add_result.cycles = cycles
+            add_result.dependence_id = dep_id
+            add_result.predecessors_added = predecessors_added
+            return add_result
+
+        # ---------------------------------------------------------- complete_creation
+        def complete_creation(descriptor_address):
+            pend[_P_TAT_LOOKUPS] += 1
+            task_id = tat_by.get(descriptor_address)
+            if task_id is None:
+                raise UnknownTaskError(
+                    f"task descriptor {descriptor_address:#x} is not tracked by the DMU"
+                )
+            if tt_complete[task_id]:
+                raise DMUProtocolError(
+                    f"task descriptor {descriptor_address:#x} completed creation twice"
+                )
+            tt_complete[task_id] = 1
+            accesses = 2  # TAT lookup + Task Table read/update
+            pend[_P_TAT] += 1
+            pend[_P_TT] += 1
+            became_ready = False
+            if tt_pred[task_id] == 0:
+                ready_push(task_id)
+                accesses += 1
+                pend[_P_RQ] += 1
+                became_ready = True
+            cycles = accesses * access_cycles
+            pend[_P_I_COMPLETE] += 1
+            pend[_P_CYCLES] += cycles
+            complete_result.cycles = cycles
+            complete_result.became_ready = became_ready
+            return complete_result
+
+        # ---------------------------------------------------------- finish_task
+        def finish_task(descriptor_address):
+            pend[_P_TAT_LOOKUPS] += 1
+            task_id = tat_by.get(descriptor_address)
+            if task_id is None:
+                raise UnknownTaskError(
+                    f"task descriptor {descriptor_address:#x} is not tracked by the DMU"
+                )
+            accesses = 2  # TAT lookup + Task Table read
+            pend[_P_TAT] += 1
+            pend[_P_TT] += 1
+            tasks_woken = 0
+            successor_list = tt_succ_list[task_id]
+            dependence_list = tt_dep_list[task_id]
+
+            # First loop: wake up successors (inlined single-entry-chain
+            # iterate — append-only lists fill left to right with no holes).
+            if sla_list_valid[successor_list] == 0:
+                accesses += 1
+                pend[_P_SLA] += 1
+            else:
+                if sla_next[successor_list] == successor_list:
+                    entry_valid = sla_valid[successor_list]
+                    base = successor_list * per
+                    successors = sla_elements[base : base + entry_valid]
+                    sla_accesses = 1
+                else:
+                    successors, sla_accesses = sla_iterate(successor_list)
+                num_successors = len(successors)
+                accesses += sla_accesses + num_successors
+                pend[_P_SLA] += sla_accesses
+                pend[_P_TT] += num_successors
+                for successor_id in successors:
+                    remaining = tt_pred[successor_id] - 1
+                    tt_pred[successor_id] = remaining
+                    if remaining == 0:
+                        if tt_complete[successor_id]:
+                            ready_push(successor_id)
+                            tasks_woken += 1
+                    elif remaining < 0:
+                        raise DMUProtocolError(
+                            f"task id {successor_id} predecessor count went negative"
+                        )
+                accesses += tasks_woken
+                pend[_P_RQ] += tasks_woken
+
+            # Second loop: clean this task out of its dependences.
+            if dla_list_valid[dependence_list] == 0:
+                accesses += 1
+                pend[_P_DLA] += 1
+            else:
+                if dla_next[dependence_list] == dependence_list:
+                    entry_valid = dla_valid[dependence_list]
+                    base = dependence_list * per
+                    dependences = dla_elements[base : base + entry_valid]
+                    dla_accesses = 1
+                else:
+                    dependences, dla_accesses = dla_iterate(dependence_list)
+                accesses += dla_accesses
+                pend[_P_DLA] += dla_accesses
+                dep_table_accesses = 0
+                rla_accesses_total = 0
+                dat_releases = 0
+                for dep_id in dependences:
+                    if not dt_valid[dep_id]:
+                        # Already recycled by an earlier occurrence of the
+                        # same address in this task's list.
+                        continue
+                    dep_table_accesses += 1
+                    reader_list = dt_reader_list[dep_id]
+                    if reader_list >= 0:
+                        _found, rla_accesses = rla_remove(reader_list, task_id)
+                        rla_accesses_total += rla_accesses
+                    writer_valid = dt_lw_valid[dep_id]
+                    if writer_valid and dt_last_writer[dep_id] == task_id:
+                        dt_last_writer[dep_id] = -1
+                        dt_lw_valid[dep_id] = 0
+                        writer_valid = 0
+                        dep_table_accesses += 1
+                    if not writer_valid and (
+                        reader_list < 0 or rla_list_valid[reader_list] == 0
+                    ):
+                        if reader_list >= 0:
+                            rla_accesses_total += rla_free_list(reader_list)
+                        # Inlined dependence_table.free().
+                        dt_valid[dep_id] = 0
+                        dependence_table._occupancy -= 1
+                        dep_table_accesses += 1
+                        dat_release(dt_address[dep_id])
+                        dat_releases += 1
+                accesses += dep_table_accesses + rla_accesses_total + dat_releases
+                pend[_P_DT] += dep_table_accesses
+                pend[_P_RLA] += rla_accesses_total
+                pend[_P_DAT] += dat_releases
+
+            # Free the task's own resources — inlined single-entry free_list
+            # (release_entry: blank slots, reset valid, LIFO-push).
+            if sla_next[successor_list] == successor_list:
+                sla_in_use[successor_list] = 0
+                base = successor_list * per
+                sla_elements[base : base + per] = sla_blank
+                sla_valid[successor_list] = 0
+                sla.free_entries += 1
+                sla_recycled.append(successor_list)
+                sla_free_accesses = 1
+            else:
+                sla_free_accesses = sla_free_list(successor_list)
+            accesses += sla_free_accesses
+            pend[_P_SLA] += sla_free_accesses
+            if dla_next[dependence_list] == dependence_list:
+                dla_in_use[dependence_list] = 0
+                base = dependence_list * per
+                dla_elements[base : base + per] = dla_blank
+                dla_valid[dependence_list] = 0
+                dla.free_entries += 1
+                dla_recycled.append(dependence_list)
+                dla_free_accesses = 1
+            else:
+                dla_free_accesses = dla_free_list(dependence_list)
+            accesses += dla_free_accesses
+            pend[_P_DLA] += dla_free_accesses
+            # Inlined task_table.free().
+            tt_valid[task_id] = 0
+            task_table._occupancy -= 1
+            accesses += 1
+            pend[_P_TT] += 1
+            tat_release(descriptor_address)
+            accesses += 1
+            pend[_P_TAT] += 1
+
+            cycles = accesses * access_cycles
+            pend[_P_I_FINISH] += 1
+            pend[_P_CYCLES] += cycles
+            pend[_P_FINISHED] += 1
+            finish_result.cycles = cycles
+            finish_result.tasks_woken = tasks_woken
+            return finish_result
+
+        # ---------------------------------------------------------- get_ready_task
+        def get_ready_task():
+            pend[_P_RQ] += 1
+            pend[_P_I_READY] += 1
+            if rq_queue:
+                ready_queue.total_pops += 1
+                task_id = rq_popleft()
+            else:
+                pend[_P_CYCLES] += access_cycles
+                pend[_P_NULL_POPS] += 1
+                return null_ready_result
+            pend[_P_TT] += 1
+            pend[_P_CYCLES] += ready_result.cycles
+            pend[_P_READY_POPS] += 1
+            ready_result.descriptor_address = tt_descriptor[task_id]
+            ready_result.num_successors = tt_succ[task_id]
+            return ready_result
+
+        # ---------------------------------------------------------- wire up
+        dmu._stats_sync = flush
+        dmu.create_task = create_task
+        dmu.add_dependence = add_dependence
+        dmu.complete_creation = complete_creation
+        dmu.finish_task = finish_task
+        dmu.get_ready_task = get_ready_task
+        # average_occupied_sets() is read directly by the machine model (not
+        # through dmu.stats), so wrap it to commit the batched occupancy
+        # samples first.
+        original_average = dat.average_occupied_sets
+
+        def average_occupied_sets() -> float:
+            flush()
+            return original_average()
+
+        dat.average_occupied_sets = average_occupied_sets

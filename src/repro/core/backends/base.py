@@ -1,0 +1,128 @@
+"""The column-slab interface every DMU storage backend implements.
+
+A *backend* owns two concerns of the columnar core:
+
+1. **Storage primitives** — the growable integer columns and flat element
+   slabs the structures (:class:`~repro.core.task_table.TaskTable`,
+   :class:`~repro.core.dependence_table.DependenceTable`,
+   :class:`~repro.core.list_array.ListArray`,
+   :class:`~repro.core.alias_table.AliasTable`,
+   :class:`~repro.core.ready_queue.ReadyQueue`) allocate through
+   :meth:`make_column` / :meth:`make_slab` / :meth:`make_queue`, plus the
+   scan primitives (:meth:`find_first`) and whole-structure audit scans
+   (:meth:`audit_list_array`, :meth:`audit_alias_table`) over them.
+
+2. **Instruction dispatch** — :meth:`install` runs once per
+   :class:`~repro.core.dmu.DependenceManagementUnit` after its structures
+   are built and may rebind the five ISA instruction entry points on the
+   instance (the *cached backend references* the DMU dispatches through).
+   The pure backend installs nothing — the methods on the DMU class *are*
+   its implementation — so the pure per-instruction path is exactly what it
+   was before the seam existed.
+
+Contract for columns and slabs: they are ``MutableSequence[int]`` objects
+with list semantics — scalar ``[]`` get/set, ``append``/``extend``, slice
+read/assignment and ``index(value, start, stop)``.  Every value read out of
+a column must be a plain Python ``int`` (internal IDs and addresses flow
+into result objects, JSON cache entries and CSV digests, so a backend may
+not leak wrapper scalar types such as ``numpy.int64``).
+
+Both shipped backends deliberately *share* the plain-list representation
+for live columns.  This is a measured decision, not an omission: on
+CPython the per-instruction hot path is dominated by scalar element access
+(one read/write per list-array slot, per way, per counter), and numpy
+scalar indexing/assignment is 4-6x *slower* than list indexing (boxing an
+``int64`` per access), so numpy-held live columns regress every
+instruction.  Where numpy genuinely wins — whole-slab audit scans over
+thousands of slots, used by the differential harness to cross-check the
+maintained counters — the ``accel`` backend overrides the audit primitives
+with vectorized implementations; its per-instruction speed comes from
+:meth:`install` (specialized instruction kernels with batched counter
+commits).  See ``docs/architecture.md`` ("Backend architecture").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Sequence
+
+#: Marker stored in unused list-array element slots (kept in sync with
+#: :data:`repro.core.list_array.INVALID_ELEMENT`; duplicated here so the
+#: backend layer does not import the structure layer it serves).
+INVALID_ELEMENT = 0xFFF
+
+
+class StorageBackend:
+    """Base backend: plain-list storage, scalar scans, no dispatch override."""
+
+    #: Resolved backend name (``"pure"`` or ``"accel"``).
+    name = "abstract"
+
+    # ------------------------------------------------------------------ storage
+    def make_column(self, initial: Iterable[int] = ()) -> List[int]:
+        """A growable integer column (one value per handle/entry)."""
+        return list(initial)
+
+    def make_slab(self, initial: Iterable[int] = ()) -> List[int]:
+        """A flat element slab (``entries * elements_per_entry`` slots)."""
+        return list(initial)
+
+    def make_queue(self) -> Deque[int]:
+        """FIFO storage for the Ready Queue."""
+        return deque()
+
+    # ------------------------------------------------------------------ scans
+    def find_first(self, slab: Sequence[int], value: int, start: int, stop: int) -> int:
+        """Index of the first ``value`` in ``slab[start:stop]`` (C-level scan)."""
+        return slab.index(value, start, stop)
+
+    # ------------------------------------------------------------------ audits
+    # Whole-structure recounts from the raw columns, bypassing every
+    # incrementally-maintained counter.  The differential tests compare these
+    # against the live counters (free_entries, _list_valid, _occupied_sets,
+    # occupancy) after randomized op streams — a backend whose kernels drift
+    # from the storage contract fails here before it can corrupt a digest.
+    def audit_list_array(self, list_array) -> Dict[str, int]:
+        """Ground-truth occupancy recount of a :class:`ListArray`."""
+        entries_in_use = 0
+        for flag in list_array._in_use:
+            if flag:
+                entries_in_use += 1
+        live_elements = 0
+        for element in list_array._elements:
+            if element != INVALID_ELEMENT:
+                live_elements += 1
+        valid_total = 0
+        for count in list_array._valid:
+            valid_total += count
+        return {
+            "entries_in_use": entries_in_use,
+            "free_entries": list_array.num_entries - entries_in_use,
+            "live_elements": live_elements,
+            "valid_total": valid_total,
+        }
+
+    def audit_alias_table(self, alias_table) -> Dict[str, int]:
+        """Ground-truth occupancy recount of an :class:`AliasTable`."""
+        occupied_sets = 0
+        entries_in_use = 0
+        for count in alias_table._set_count:
+            if count:
+                occupied_sets += 1
+                entries_in_use += count
+        return {
+            "occupied_sets": occupied_sets,
+            "entries_in_use": entries_in_use,
+            "directory_entries": len(alias_table._by_address),
+        }
+
+    # ------------------------------------------------------------------ dispatch
+    def install(self, dmu) -> None:
+        """Hook run once per DMU after construction; may rebind instructions.
+
+        The base/pure implementation installs nothing: the DMU's own methods
+        are the pure instruction path.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

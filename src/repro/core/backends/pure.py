@@ -1,0 +1,18 @@
+"""The ``pure`` storage backend: today's plain-Python columnar core.
+
+Everything is inherited from :class:`~repro.core.backends.base.StorageBackend`:
+plain-list columns and slabs, C-level ``list.index`` scans, Python-loop
+audits, and — crucially — **no instruction dispatch override**, so the DMU's
+class methods run exactly as they did before the backend seam existed and
+the pure per-instruction path carries zero new overhead.
+"""
+
+from __future__ import annotations
+
+from .base import StorageBackend
+
+
+class PureBackend(StorageBackend):
+    """Plain Python lists + the DMU's own instruction methods."""
+
+    name = "pure"

@@ -40,9 +40,10 @@ indices are handed out in increasing order only when the stack is empty.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import DMUStructureFullError
+from .backends import StorageBackend, resolve_backend
 
 #: Marker stored in unused element slots ("Invalid elements are set to all ones").
 INVALID_ELEMENT = 0xFFF
@@ -57,6 +58,7 @@ class ListArray:
         num_entries: int,
         elements_per_entry: int,
         append_only: bool = False,
+        backend: Optional[StorageBackend] = None,
     ) -> None:
         if num_entries < 1:
             raise ValueError("num_entries must be >= 1")
@@ -68,16 +70,21 @@ class ListArray:
         #: Append-only arrays reject ``remove``/``flush``; in exchange the
         #: append path needs no chain walk (only the tail can be non-full).
         self.append_only = append_only
+        backend = backend if backend is not None else resolve_backend()
+        self._backend = backend
+        # Cached backend reference for the first-free-slot scan of the
+        # general append path (the one scan primitive this structure needs).
+        self._find_first = backend.find_first
         # Columnar storage, grown lazily as fresh entries are touched.
-        self._elements: List[int] = []  # flat slot slab
-        self._next: List[int] = []  # Next pointer per entry (self-loop at tail)
-        self._in_use: List[int] = []  # 0/1 per entry
-        self._valid: List[int] = []  # valid-slot count per entry
+        self._elements: List[int] = backend.make_slab()  # flat slot slab
+        self._next: List[int] = backend.make_column()  # Next pointer (self-loop at tail)
+        self._in_use: List[int] = backend.make_column()  # 0/1 per entry
+        self._valid: List[int] = backend.make_column()  # valid-slot count per entry
         # Per-list columns, read/written at the head entry's index only.
-        self._list_valid: List[int] = []
-        self._list_entries: List[int] = []
-        self._tail: List[int] = []
-        self._recycled: List[int] = []
+        self._list_valid: List[int] = backend.make_column()
+        self._list_entries: List[int] = backend.make_column()
+        self._tail: List[int] = backend.make_column()
+        self._recycled: List[int] = backend.make_column()
         self._next_fresh_index = 0
         self.peak_entries_used = 0
         #: Number of SRAM entries not currently assigned to any list.  A
@@ -207,7 +214,7 @@ class ListArray:
                 # slots hold the marker, so index() finds the same slot the
                 # old per-slot loop did).
                 base = index * per_entry
-                slot = elements.index(INVALID_ELEMENT, base, base + per_entry)
+                slot = self._find_first(elements, INVALID_ELEMENT, base, base + per_entry)
                 elements[slot] = value
                 valid[index] = entry_valid + 1
                 list_valid[head] += 1
@@ -401,6 +408,15 @@ class ListArray:
         if not self._in_use[head]:
             raise ValueError(f"{self.name}: list head {head} references a free entry")
         return self._list_entries[head]
+
+    def audit(self) -> Dict[str, int]:
+        """Whole-structure occupancy recount from the raw columns.
+
+        Delegates to the backend (vectorized under ``accel``); the
+        differential tests compare this ground truth against the maintained
+        ``free_entries``/``_list_valid`` counters.
+        """
+        return self._backend.audit_list_array(self)
 
     # ------------------------------------------------------------------ internals
     def _walk(self, head: int) -> Iterator[int]:

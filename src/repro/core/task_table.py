@@ -15,9 +15,10 @@ configurations never pay for untouched capacity.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..errors import DMUProtocolError
+from .backends import StorageBackend, resolve_backend
 
 
 class TaskTable:
@@ -33,17 +34,19 @@ class TaskTable:
     * ``valid`` — 0/1 occupancy bit
     """
 
-    def __init__(self, num_entries: int) -> None:
+    def __init__(self, num_entries: int, backend: Optional[StorageBackend] = None) -> None:
         if num_entries < 1:
             raise ValueError("num_entries must be >= 1")
         self.num_entries = num_entries
-        self.descriptor_address: List[int] = []
-        self.predecessor_count: List[int] = []
-        self.successor_count: List[int] = []
-        self.successor_list: List[int] = []
-        self.dependence_list: List[int] = []
-        self.creation_complete: List[int] = []
-        self.valid: List[int] = []
+        backend = backend if backend is not None else resolve_backend()
+        self._backend = backend
+        self.descriptor_address: List[int] = backend.make_column()
+        self.predecessor_count: List[int] = backend.make_column()
+        self.successor_count: List[int] = backend.make_column()
+        self.successor_list: List[int] = backend.make_column()
+        self.dependence_list: List[int] = backend.make_column()
+        self.creation_complete: List[int] = backend.make_column()
+        self.valid: List[int] = backend.make_column()
         self._size = 0
         self.peak_occupancy = 0
         self._occupancy = 0

@@ -181,6 +181,7 @@ class CampaignEngine:
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         cache_max_bytes: Optional[int] = None,
         verbose: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         if not (0.0 < scale <= 1.0):
             raise ExperimentError(f"scale must be in (0, 1], got {scale}")
@@ -193,6 +194,14 @@ class CampaignEngine:
         self.jobs = jobs
         self.verbose = verbose
         self.base_config = base_config or default_paper_config()
+        #: DMU storage backend applied to every resolved configuration (even
+        #: to request-provided DMU sizings, so a sweep stays uniform).  None
+        #: keeps whatever the base/request config says.  Backends never
+        #: change results — canonical run keys exclude them, so cache entries
+        #: are shared across backends.
+        self.backend = backend
+        if backend is not None:
+            self.base_config = self.base_config.with_dmu_backend(backend).validated()
         self.disk_cache = ResultCache(cache_dir) if cache_dir is not None else None
         #: Size budget for the on-disk cache; enforced (oldest-mtime entries
         #: evicted first) after every parallel batch and via
@@ -258,6 +267,10 @@ class CampaignEngine:
         )
         if dmu is not None:
             config = replace(config, dmu=dmu)
+            if self.backend is not None and dmu.backend != self.backend:
+                # Sweeps hand in bare DMU sizings; the engine-level backend
+                # choice still applies to them.
+                config = config.with_dmu_backend(self.backend)
         return config.validated()
 
     def resolve(self, request: RunRequest) -> ResolvedRun:

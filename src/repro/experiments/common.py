@@ -127,6 +127,7 @@ class SimulationRunner:
         jobs: int = 1,
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         cache_max_bytes: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.engine = CampaignEngine(
             scale=scale,
@@ -136,6 +137,7 @@ class SimulationRunner:
             cache_dir=cache_dir,
             cache_max_bytes=cache_max_bytes,
             verbose=verbose,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------ engine façade
@@ -158,6 +160,11 @@ class SimulationRunner:
     @property
     def base_config(self) -> SimulationConfig:
         return self.engine.base_config
+
+    @property
+    def backend(self) -> Optional[str]:
+        """The engine-level DMU backend override (None = config default)."""
+        return self.engine.backend
 
     def config_for(
         self,

@@ -1,0 +1,200 @@
+"""The DMU storage-backend seam: resolution, fallback, config and cache keys.
+
+The byte-identity contract itself is enforced by the differential streams in
+``tests/test_columnar_differential.py`` and the accel digest pins in
+``tests/test_kernel_rewrite.py``; this module covers the plumbing around it —
+name validation, the numpy-less fallback, the ``REPRO_BACKEND`` default, the
+engine-level backend override, the canonical-run-key exclusion, and the
+benchmark environment-variable convention.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib.util
+import pathlib
+import random
+import warnings
+
+import pytest
+
+import repro.core.backends as backends
+from repro.config import DMU_BACKENDS, DMUConfig
+from repro.core.dmu import DependenceManagementUnit
+from repro.errors import ConfigurationError
+from repro.experiments.cache import canonical_run_key
+from repro.experiments.campaign import CampaignEngine
+from repro.experiments.common import SimulationRunner
+
+from tests.util import make_config
+
+
+def _small_dmu_config(backend: str) -> DMUConfig:
+    return DMUConfig(
+        tat_entries=32, dat_entries=32,
+        tat_associativity=4, dat_associativity=4,
+        successor_list_entries=16, dependence_list_entries=16,
+        reader_list_entries=16, elements_per_list_entry=4,
+        ready_queue_entries=32, backend=backend,
+    )
+
+
+def _run_short_stream(dmu: DependenceManagementUnit, seed: int = 3) -> list:
+    """A short create/add/complete/finish stream; returns the op log."""
+    rng = random.Random(seed)
+    log = []
+    addresses = [0x4000 + 0x40 * i for i in range(12)]
+    for address in addresses:
+        result = dmu.create_task(address)
+        log.append((result.task_id, result.cycles))
+        for _ in range(rng.randrange(3)):
+            add = dmu.add_dependence(
+                address, 0x9000 + 0x100 * rng.randrange(6), 256,
+                rng.choice(["in", "out"]),
+            )
+            log.append((add.dependence_id, add.predecessors_added, add.cycles))
+        done = dmu.complete_creation(address)
+        log.append((done.became_ready, done.cycles))
+    while True:
+        ready = dmu.get_ready_task()
+        if ready.descriptor_address is None:
+            break
+        finish = dmu.finish_task(ready.descriptor_address)
+        log.append((ready.descriptor_address, finish.tasks_woken, finish.cycles))
+    log.append(dmu.stats.as_dict())
+    return log
+
+
+class TestBackendResolution:
+    def test_default_is_pure(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert backends.resolve_backend(None).name == "pure"
+        assert DMUConfig().backend == "pure"
+
+    def test_unknown_name_rejected_by_validate_and_resolver(self):
+        with pytest.raises(ConfigurationError, match="unknown DMU backend"):
+            DMUConfig(backend="gpu").validate()
+        with pytest.raises(ConfigurationError, match="unknown DMU backend"):
+            backends.resolve_backend("gpu")
+
+    def test_backends_are_singletons(self):
+        assert backends.resolve_backend("pure") is backends.resolve_backend("pure")
+        if backends.numpy_available():
+            assert (
+                backends.resolve_backend("accel")
+                is backends.resolve_backend("accel")
+            )
+
+    def test_repro_backend_env_sets_the_config_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "accel")
+        assert DMUConfig().backend == "accel"
+        monkeypatch.setenv("REPRO_BACKEND", "")
+        assert DMUConfig().backend == "pure"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert DMUConfig().backend == "pure"
+        # An explicit field value always beats the environment.
+        monkeypatch.setenv("REPRO_BACKEND", "accel")
+        assert DMUConfig(backend="pure").backend == "pure"
+
+
+class TestNumpylessFallback:
+    """``accel`` on a numpy-less host warns and degrades to ``pure``."""
+
+    def test_resolver_warns_and_returns_pure(self, monkeypatch):
+        monkeypatch.setattr(backends, "numpy_available", lambda: False)
+        with pytest.warns(RuntimeWarning, match="requires numpy"):
+            backend = backends.resolve_backend("accel")
+        assert backend.name == "pure"
+
+    def test_fallback_dmu_matches_pure_results(self, monkeypatch):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the pure build must not warn
+            pure_log = _run_short_stream(
+                DependenceManagementUnit(_small_dmu_config("pure"))
+            )
+        monkeypatch.setattr(backends, "numpy_available", lambda: False)
+        with pytest.warns(RuntimeWarning, match="falling back to the 'pure'"):
+            fallback = DependenceManagementUnit(_small_dmu_config("accel"))
+        assert fallback.backend.name == "pure"
+        # No accel kernels were installed on the fallback instance …
+        assert "create_task" not in fallback.__dict__
+        # … and the results are the pure results.
+        assert _run_short_stream(fallback) == pure_log
+
+
+class TestEngineBackendOverride:
+    def test_engine_applies_backend_to_request_dmu_configs(self):
+        engine = CampaignEngine(scale=0.1, backend="accel")
+        assert engine.base_config.dmu.backend == "accel"
+        # Sweeps hand in bare DMU sizings; the engine backend still applies.
+        sizing = DMUConfig(tat_entries=256, dat_entries=256, backend="pure")
+        resolved = engine.config_for("tdm", "fifo", dmu=sizing)
+        assert resolved.dmu.backend == "accel"
+        assert resolved.dmu.tat_entries == 256
+
+    def test_engine_default_leaves_config_backend_alone(self):
+        engine = CampaignEngine(scale=0.1)
+        assert engine.backend is None
+        sizing = DMUConfig(backend="accel")
+        assert engine.config_for("tdm", "fifo", dmu=sizing).dmu.backend == "accel"
+
+    def test_runner_exposes_backend(self):
+        assert SimulationRunner(scale=0.1).backend is None
+        assert SimulationRunner(scale=0.1, backend="accel").backend == "accel"
+
+
+class TestCanonicalKeyExclusion:
+    """Backends are execution strategies: run keys must not see them."""
+
+    def test_key_is_backend_invariant(self):
+        keys = {
+            canonical_run_key(
+                make_config(dmu=_small_dmu_config(backend)),
+                benchmark="cholesky", scale=0.1,
+            )
+            for backend in DMU_BACKENDS
+        }
+        assert len(keys) == 1
+
+    def test_key_still_sees_semantic_dmu_fields(self):
+        base = _small_dmu_config("pure")
+        resized = dataclasses.replace(base, tat_entries=16)
+        assert canonical_run_key(
+            make_config(dmu=base), benchmark="cholesky", scale=0.1
+        ) != canonical_run_key(
+            make_config(dmu=resized), benchmark="cholesky", scale=0.1
+        )
+
+
+class TestBenchEnvConvention:
+    """scripts/run_campaign_rest.py honors REPRO_BENCH_* with deprecation."""
+
+    @pytest.fixture(scope="class")
+    def rest_module(self):
+        path = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "scripts" / "run_campaign_rest.py"
+        )
+        spec = importlib.util.spec_from_file_location("run_campaign_rest", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_new_name_wins_without_warning(self, rest_module, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "4")
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert rest_module.bench_env("JOBS", "REPRO_JOBS") == "4"
+
+    def test_deprecated_name_warns_and_is_honored(self, rest_module, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_CACHE_DIR", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+        with pytest.warns(DeprecationWarning, match="REPRO_CACHE_DIR is deprecated"):
+            value = rest_module.bench_env("CACHE_DIR", "REPRO_CACHE_DIR")
+        assert value == "/tmp/somewhere"
+
+    def test_empty_values_count_as_unset(self, rest_module, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BACKEND", "")
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert rest_module.bench_env("BACKEND") is None

@@ -23,7 +23,11 @@ from typing import Dict, List, Optional, Tuple
 
 import pytest
 
+from repro.config import DMUConfig
 from repro.core.alias_table import AliasTable
+from repro.core.backends import numpy_available
+from repro.core.dmu import DependenceManagementUnit
+from repro.core.isa import DMUBlocked
 from repro.core.list_array import INVALID_ELEMENT, ListArray
 from repro.core.task_table import TaskTable
 from repro.errors import DMUProtocolError, DMUStructureFullError
@@ -614,3 +618,156 @@ class TestTaskTableEdgeCases:
         assert table.descriptor_address[2] == 999
         assert table.predecessor_count[2] == 0
         assert table.peak_occupancy == 4
+
+
+# --------------------------------------------------------------------------
+# Backend differential: pure vs accel over full-DMU instruction streams
+# --------------------------------------------------------------------------
+def _drive_dmu_stream(backend: str, seed: int, steps: int = 3000):
+    """Drive one DMU through a random ISA instruction stream.
+
+    Returns ``(log, stats, extras)``: a per-op log of every result field,
+    blocked structure and exception (type *and* message — both are pinned),
+    the final statistics dict, and every externally observable counter the
+    two backends must agree on — peaks, recycled-stack contents (LIFO order
+    decides which SRAM entry the next allocation lands in), ready-queue
+    totals, the capacity snapshot, and the backend audit recounts.
+    """
+    config = DMUConfig(
+        tat_entries=64, dat_entries=64,
+        tat_associativity=4, dat_associativity=4,
+        successor_list_entries=32, dependence_list_entries=32,
+        reader_list_entries=32, elements_per_list_entry=4,
+        ready_queue_entries=64, backend=backend,
+    )
+    dmu = DependenceManagementUnit(config)
+    rng = random.Random(seed)
+    live: Dict[int, str] = {}
+    addresses = [0x1000 + 0x40 * i for i in range(200)]
+    dependences = [0x9000 + 0x100 * i for i in range(40)]
+    log: list = []
+    for _ in range(steps):
+        op = rng.randrange(6)
+        # Exceptions are part of the comparison, not failures: the stream
+        # deliberately violates the DMU protocol (duplicate creates, unknown
+        # descriptors, premature finishes) and both backends must raise the
+        # same type with the same message at the same op.
+        try:
+            if op == 0:
+                address = rng.choice(addresses)
+                result = dmu.create_task(address)
+                if isinstance(result, DMUBlocked):
+                    log.append(("create-blocked", result.structure))
+                else:
+                    live[address] = "created"
+                    log.append(("create", result.task_id, result.cycles))
+            elif op == 1 and live:
+                address = rng.choice(list(live))
+                dependence = rng.choice(dependences)
+                direction = rng.choice(["in", "out"])
+                size = rng.choice([64, 256, 4096])
+                result = dmu.add_dependence(address, dependence, size, direction)
+                if isinstance(result, DMUBlocked):
+                    log.append(("add-blocked", result.structure))
+                else:
+                    log.append(
+                        ("add", result.dependence_id, result.predecessors_added,
+                         result.cycles)
+                    )
+            elif op == 2 and live:
+                address = rng.choice(list(live))
+                if live[address] == "created":
+                    result = dmu.complete_creation(address)
+                    live[address] = "complete"
+                    log.append(("complete", result.became_ready, result.cycles))
+            elif op == 3:
+                result = dmu.get_ready_task()
+                popped = result.descriptor_address
+                log.append(
+                    ("ready", popped,
+                     result.num_successors if popped is not None else -1,
+                     result.cycles)
+                )
+            elif op == 4 and live:
+                address = rng.choice(list(live))
+                if live[address] == "complete" and rng.random() < 0.5:
+                    result = dmu.finish_task(address)
+                    del live[address]
+                    log.append(("finish", result.tasks_woken, result.cycles))
+            elif op == 5:
+                kind = rng.randrange(2)
+                if kind == 0:
+                    dmu.add_dependence(0xDEAD, dependences[0], 64, "in")
+                else:
+                    dmu.finish_task(0xBEEF)
+        except Exception as error:  # noqa: BLE001 — type + message compared
+            log.append(("err", type(error).__name__, str(error)))
+    stats = dmu.stats.as_dict()
+    extras = dict(
+        tat_lookups=dmu.tat.lookups, dat_lookups=dmu.dat.lookups,
+        tat_allocations=dmu.tat.allocations,
+        occupancy_average=dmu.dat.average_occupied_sets(),
+        occupancy_samples=dmu.dat._occupied_set_samples,
+        task_table_peak=dmu.task_table.peak_occupancy,
+        dependence_table_peak=dmu.dependence_table.peak_occupancy,
+        sla_peak=dmu.successor_lists.peak_entries_used,
+        dla_peak=dmu.dependence_lists.peak_entries_used,
+        rla_peak=dmu.reader_lists.peak_entries_used,
+        sla_recycled=list(dmu.successor_lists._recycled),
+        dla_recycled=list(dmu.dependence_lists._recycled),
+        rla_recycled=list(dmu.reader_lists._recycled),
+        tat_recycled=list(dmu.tat._recycled_ids),
+        dat_recycled=list(dmu.dat._recycled_ids),
+        ready_queue=dict(
+            pushes=dmu.ready_queue.total_pushes,
+            pops=dmu.ready_queue.total_pops,
+            peak=dmu.ready_queue.peak_occupancy,
+        ),
+        snapshot=dmu.capacity_snapshot(),
+        audits=[
+            dmu.successor_lists.audit(), dmu.dependence_lists.audit(),
+            dmu.reader_lists.audit(), dmu.tat.audit(), dmu.dat.audit(),
+        ],
+    )
+    return log, stats, extras, dmu
+
+
+@pytest.mark.skipif(not numpy_available(), reason="accel backend requires numpy")
+class TestBackendDifferential:
+    """The accel backend is observationally identical to pure.
+
+    Every random-op stream is driven through a pure-backend DMU and an
+    accel-backend DMU in lockstep: per-op results (IDs, cycle charges,
+    blocked structures, exception types and messages), final statistics,
+    peaks, handle-recycle order and the backend audit recounts must all be
+    equal — the byte-identity contract behind sharing cache entries across
+    backends (see ``repro/core/backends/__init__.py``).
+    """
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_streams_identical(self, seed):
+        pure_log, pure_stats, pure_extras, _ = _drive_dmu_stream("pure", seed)
+        accel_log, accel_stats, accel_extras, dmu = _drive_dmu_stream("accel", seed)
+        assert dmu.backend.name == "accel"
+        for step, (pure_op, accel_op) in enumerate(zip(pure_log, accel_log)):
+            assert pure_op == accel_op, f"seed {seed} diverges at op {step}"
+        assert len(pure_log) == len(accel_log)
+        assert pure_stats == accel_stats
+        assert pure_extras == accel_extras
+
+    def test_accel_kernels_are_installed(self):
+        """Guard against the differential becoming vacuous.
+
+        The accel backend rebinds the five ISA instructions as *instance*
+        attributes; if installation silently stopped happening, the stream
+        test would compare pure against pure and prove nothing.
+        """
+        dmu = DependenceManagementUnit(DMUConfig(backend="accel"))
+        for name in ("create_task", "add_dependence", "complete_creation",
+                     "finish_task", "get_ready_task"):
+            assert name in dmu.__dict__, f"{name} not rebound by accel install()"
+            assert dmu.__dict__[name] is not getattr(type(dmu), name)
+        assert dmu._stats_sync is not None
+        pure = DependenceManagementUnit(DMUConfig(backend="pure"))
+        assert "create_task" not in pure.__dict__
+        assert pure._stats_sync is None
