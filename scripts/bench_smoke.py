@@ -9,6 +9,12 @@ twice against the same cache directory and records the timings in
 doubles as an end-to-end check of the content-hashed result cache and
 feeds the performance trajectory across PRs.
 
+The record also carries a **shard-balance** metric: the predicted per-shard
+loads of the smoke sweep under the modulo hash partition vs cost-aware LPT
+binning (``--shard-strategy cost``), as max/mean imbalance ratios.  The
+cost bins' peak must not exceed modulo's — the straggler-avoidance claim,
+quantified on every refresh.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_smoke.py --jobs 4
@@ -23,7 +29,9 @@ import tempfile
 import time
 
 from repro.experiments.common import SimulationRunner
-from repro.experiments.registry import run_experiment
+from repro.experiments.registry import resolve_plan, run_experiment
+from repro.experiments.shard import ShardPlan
+from repro.runtime.cost_model import CampaignCostModel
 
 SMOKE_EXPERIMENTS = ("figure_02", "figure_10", "figure_12")
 SMOKE_BENCHMARKS = ["blackscholes", "cholesky", "qr"]
@@ -41,6 +49,38 @@ def run_pass(scale: float, jobs: int, cache_dir: pathlib.Path) -> dict:
     return {"seconds": round(elapsed, 3), "rows": rows, **info}
 
 
+def shard_balance(scale: float, shards: int) -> dict:
+    """Predicted per-shard load balance of the smoke sweep, modulo vs cost."""
+    runner = SimulationRunner(scale=scale)
+    resolved = [
+        item
+        for name in SMOKE_EXPERIMENTS
+        for item in resolve_plan(name, runner, benchmarks=SMOKE_BENCHMARKS)
+    ]
+    model = CampaignCostModel(scale=scale)
+
+    def measure(strategy: str) -> dict:
+        plan = ShardPlan(resolved, shards, strategy=strategy, cost_model=model)
+        loads = plan.shard_loads()
+        mean = sum(loads) / len(loads)
+        return {
+            "max_shard_s": round(max(loads), 4),
+            "mean_shard_s": round(mean, 4),
+            "imbalance_max_over_mean": round(max(loads) / mean, 3) if mean else None,
+        }
+
+    modulo, cost = measure("modulo"), measure("cost")
+    return {
+        "shards": shards,
+        "keys": len({item.key for item in resolved}),
+        "modulo": modulo,
+        "cost": cost,
+        "peak_load_reduction": round(modulo["max_shard_s"] / cost["max_shard_s"], 3)
+        if cost["max_shard_s"]
+        else None,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.15)
@@ -48,11 +88,14 @@ def main() -> None:
     parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
                         help="cache directory (default: a fresh temporary one)")
     parser.add_argument("--output", type=pathlib.Path, default=pathlib.Path("BENCH_campaign.json"))
+    parser.add_argument("--shards", type=int, default=3,
+                        help="shard count for the predicted balance metric")
     args = parser.parse_args()
 
     cache_dir = args.cache_dir or pathlib.Path(tempfile.mkdtemp(prefix="campaign-cache-"))
     cold = run_pass(args.scale, args.jobs, cache_dir)
     warm = run_pass(args.scale, args.jobs, cache_dir)
+    balance = shard_balance(args.scale, args.shards)
 
     record = {
         "benchmark": "campaign_smoke",
@@ -67,11 +110,14 @@ def main() -> None:
         "speedup_cold_over_warm": round(cold["seconds"] / warm["seconds"], 2)
         if warm["seconds"] > 0
         else None,
+        "shard_balance": balance,
     }
     args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(record, indent=2))
     if not record["warm_is_simulation_free"]:
         raise SystemExit("warm pass re-simulated cached points — cache regression!")
+    if balance["cost"]["max_shard_s"] > balance["modulo"]["max_shard_s"]:
+        raise SystemExit("cost binning produced a worse peak shard load than modulo!")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,13 @@ refuses to render unless every planned key is present (``--allow-incomplete``
 overrides, simulating the gaps locally), and then renders output that is
 byte-identical to a serial ``tdm-repro`` run: a dead shard is repaired by
 simply rerunning it — surviving cache entries are pure warm-up hits.
+
+Straggler control: ``--shard-strategy cost`` balances the bins by predicted
+wall time (calibrated from ``<cache-dir>/cost_profile.json``, which workers
+and merges keep updated from observed per-key timings), and ``--steal``
+lets a drained shard absorb unfinished keys of its peers through atomic
+claim files in a shared cache directory.  Both affect planning only —
+canonical keys and merged bytes are unchanged.
 """
 
 from __future__ import annotations
@@ -31,7 +38,12 @@ import sys
 from repro.errors import ExperimentError
 from repro.experiments.common import SimulationRunner
 from repro.experiments.registry import run_experiment
-from repro.experiments.shard import ShardSpec, merge_shards, run_shard_worker
+from repro.experiments.shard import (
+    PLAN_STRATEGIES,
+    ShardSpec,
+    merge_shards,
+    run_shard_worker,
+)
 
 
 def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -65,6 +77,13 @@ def main() -> int:
                         help="this host's shard (1-based), e.g. 2/3")
     worker.add_argument("--manifest", type=pathlib.Path, default=None,
                         help="manifest path (default: <cache-dir>/manifests/...)")
+    worker.add_argument("--shard-strategy", choices=PLAN_STRATEGIES, default="modulo",
+                        help="partition strategy: 'modulo' (default) or 'cost' "
+                        "(LPT by predicted wall time; must match across shards)")
+    worker.add_argument("--steal", action="store_true",
+                        help="after draining this shard's bin, claim unfinished keys "
+                        "of other shards via atomic claim files (requires a shared "
+                        "--cache-dir across workers)")
 
     merge = commands.add_parser("merge", help="union shard caches, verify, render")
     add_runner_arguments(merge)
@@ -83,7 +102,9 @@ def main() -> int:
         if args.command == "worker":
             manifest = run_shard_worker(args.experiment, ShardSpec.parse(args.shard),
                                         runner, benchmarks=args.benchmarks,
-                                        manifest=args.manifest)
+                                        manifest=args.manifest,
+                                        strategy=args.shard_strategy,
+                                        steal=args.steal)
             return manifest.report()
 
         report = merge_shards(args.experiment, args.sources, runner,

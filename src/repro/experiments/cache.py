@@ -38,6 +38,18 @@ from ..sim.machine import SimulationResult
 #: entries are treated as misses and resimulated rather than misread.
 CACHE_FORMAT_VERSION = 1
 
+#: Persistent union of observed per-key wall times (seconds + analytic cost
+#: units), living at the top of a cache directory.  Written by shard workers
+#: and ``merge_shards``; read by the cost-aware shard planner.  Advisory
+#: data: it shapes *planning* only and never results, so concurrent
+#: last-writer-wins updates are acceptable.
+COST_PROFILE_FILENAME = "cost_profile.json"
+
+#: Subdirectory of a cache directory holding work-stealing claim files
+#: (``claims/<key>.claim``, created with ``O_EXCL`` — see
+#: ``repro.experiments.shard.ClaimBoard``).
+CLAIMS_DIRNAME = "claims"
+
 
 def atomic_write(path: pathlib.Path, data: Union[str, bytes]) -> None:
     """Write ``data`` to ``path`` via tmp+rename, creating parent directories.
@@ -92,6 +104,50 @@ def canonical_run_key(
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def load_cost_profile(directory: Union[str, pathlib.Path]) -> Dict[str, Dict[str, float]]:
+    """The persisted cost profile of a cache directory (empty when absent).
+
+    Unreadable or structurally malformed profiles degrade to empty — cost
+    prediction then falls back to its uncalibrated analytic baseline rather
+    than aborting planning.
+    """
+    path = pathlib.Path(directory) / COST_PROFILE_FILENAME
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        entries = document["timings"]
+        if not isinstance(entries, dict):
+            return {}
+        return {
+            key: dict(value) for key, value in entries.items() if isinstance(value, dict)
+        }
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+        return {}
+
+
+def store_cost_profile(
+    directory: Union[str, pathlib.Path],
+    entries: Dict[str, Dict[str, float]],
+    merge: bool = True,
+) -> pathlib.Path:
+    """Persist (by default, union into) a cache directory's cost profile.
+
+    With ``merge`` the existing profile is read first and new entries win on
+    key collisions (fresher observations supersede stale ones).  The write
+    is atomic, but read-merge-write is not a transaction — acceptable for
+    advisory planning data (see :data:`COST_PROFILE_FILENAME`).
+    """
+    merged = dict(load_cost_profile(directory)) if merge else {}
+    merged.update(entries)
+    path = pathlib.Path(directory) / COST_PROFILE_FILENAME
+    document = {
+        "version": CACHE_FORMAT_VERSION,
+        "timings": {key: merged[key] for key in sorted(merged)},
+    }
+    atomic_write(path, json.dumps(document, indent=2, sort_keys=True))
+    return path
+
+
 class ResultCache:
     """On-disk store of serialized simulation results, one JSON file per key.
 
@@ -100,8 +156,9 @@ class ResultCache:
 
     * ``<directory>/<key[:2]>/<key>.json`` — two-level fan-out; entry
       enumeration is pinned to that shape, so auxiliary data (shard
-      manifests under ``manifests/``) can live inside the cache directory
-      without being mistaken for entries.
+      manifests under ``manifests/``, work-stealing claims under
+      ``claims/``, the top-level ``cost_profile.json``) can live inside the
+      cache directory without being mistaken for entries.
     * **Atomic writes** — every put is tmp + rename, so a reader (or a
       crashed writer) never observes a torn entry; ``CACHE_FORMAT_VERSION``
       gates stale layouts on read.
@@ -128,9 +185,12 @@ class ResultCache:
         return self.directory / key[:2] / f"{key}.json"
 
     def _entries(self):
-        """Every cache entry file.  The ``??/`` prefix pins the two-hex-char
-        fan-out layout, so sibling directories (``manifests/`` written by
-        shard workers) are never counted, pruned, merged or cleared."""
+        """Every cache entry file.  The ``??/*.json`` pattern pins the
+        two-hex-char fan-out layout, so every non-entry artifact inside the
+        cache directory — ``manifests/`` (shard manifests), ``claims/``
+        (work-stealing claim files, which are ``.claim`` not ``.json``
+        anyway), and the top-level ``cost_profile.json`` — is never counted,
+        pruned, merged or cleared.  ``tests/test_campaign.py`` pins this."""
         return self.directory.glob("??/*.json")
 
     def __contains__(self, key: str) -> bool:
@@ -189,6 +249,11 @@ class ResultCache:
         (atomic tmp+rename, like :meth:`put_serialized`).  This is the merge
         point of multi-host campaigns: union every shard's cache, then
         render from the union.
+
+        Only ``??/*.json`` entries are copied: claim files are per-campaign
+        scratch that must never leak into a merge destination, and cost
+        profiles are unioned separately (with their own merge semantics) by
+        ``merge_shards``.
         """
         copied = 0
         for entry in sorted(source._entries()):

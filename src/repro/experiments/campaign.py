@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pathlib
+import time
 import traceback
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -115,16 +116,19 @@ class ResolvedRun:
     workload_runtime: Optional[str]
 
 
-def _simulate_entry(payload: Dict[str, object]) -> Tuple[str, Dict[str, object]]:
+def _simulate_entry(payload: Dict[str, object]) -> Tuple[str, Dict[str, object], float]:
     """Worker-side body: rebuild the run from plain dicts and simulate it.
 
     Lives at module scope so it pickles under both fork and spawn start
-    methods.  Returns the canonical key with the serialized result; the
-    parent performs the deterministic merge.  Exceptions are captured into
-    an error marker (rather than poisoning ``pool.map`` with a raw remote
-    traceback) so the parent can attach the offending key and workload
-    parameters — and so one bad point does not discard its batchmates.
+    methods.  Returns the canonical key with the serialized result and the
+    worker-side wall seconds the point took (workload build + simulation —
+    the quantity cost-aware shard planning predicts); the parent performs
+    the deterministic merge.  Exceptions are captured into an error marker
+    (rather than poisoning ``pool.map`` with a raw remote traceback) so the
+    parent can attach the offending key and workload parameters — and so
+    one bad point does not discard its batchmates.
     """
+    started = time.perf_counter()
     try:
         config = SimulationConfig.from_dict(payload["config"])
         workload = create_workload(
@@ -143,8 +147,8 @@ def _simulate_entry(payload: Dict[str, object]) -> Tuple[str, Dict[str, object]]
                 "error_message": str(error),
                 "traceback": traceback.format_exc(),
             }
-        }
-    return payload["key"], result.to_dict()
+        }, time.perf_counter() - started
+    return payload["key"], result.to_dict(), time.perf_counter() - started
 
 
 class CampaignEngine:
@@ -219,6 +223,11 @@ class CampaignEngine:
         self.memory_hits = 0
         self.disk_hits = 0
         self.cache_evictions = 0
+        #: Observed wall seconds of every simulation this engine (or its
+        #: pool workers) actually ran, by canonical key.  Cache hits record
+        #: nothing — the map is the raw material of the campaign cost model
+        #: (shard manifests persist it as ``key_timings``).
+        self.key_timings: Dict[str, float] = {}
 
     _PROGRAM_CACHE_LIMIT = 16
 
@@ -368,7 +377,7 @@ class CampaignEngine:
                 print(f"[campaign] {len(payloads)} runs on {self.jobs} workers")
             with multiprocessing.Pool(processes=min(self.jobs, len(payloads))) as pool:
                 outcomes = pool.map(_simulate_entry, payloads)
-            for key, result_dict in sorted(outcomes, key=lambda pair: pair[0]):
+            for key, result_dict, seconds in sorted(outcomes, key=lambda item: item[0]):
                 marker = result_dict.get(_ERROR_MARKER)
                 if marker is not None:
                     errors[key] = CampaignRunError(
@@ -380,6 +389,7 @@ class CampaignEngine:
                     )
                     continue
                 self.simulations_run += 1
+                self.key_timings[key] = seconds
                 self._memo[key] = SimulationResult.from_dict(result_dict)
                 if self.disk_cache is not None:
                     # The worker already serialized; don't re-serialize.
@@ -428,7 +438,9 @@ class CampaignEngine:
         # Count *completed* simulations only (matching the pool path, where
         # failed workers never reach the parent's counter): shard manifests
         # report failures separately from `simulated`.
+        started = time.perf_counter()
         result = run_simulation(program, resolved.config)
+        self.key_timings[resolved.key] = time.perf_counter() - started
         self.simulations_run += 1
         return result
 

@@ -25,6 +25,18 @@ Examples::
     # renders — byte-identical to a serial run
     tdm-repro figure_12 --scale 0.2 --merge-shards shards/1 shards/2 shards/3 \\
         --cache-dir merged --output results/ --csv
+
+    # Audit the partition first: keys, predicted costs and shard assignment
+    # under a strategy, without simulating anything
+    tdm-repro figure_07 --scale 0.2 --shard 1/3 --shard-strategy cost --dry-run
+
+    # Straggler-free variant on a shared filesystem: bins balanced by
+    # predicted cost (calibrated from cache/cost_profile.json when present),
+    # and idle shards steal unfinished keys through atomic claim files —
+    # a dead host's work is absorbed, merged bytes unchanged
+    tdm-repro figure_12 --scale 0.2 --shard 1/3 --shard-strategy cost --steal --cache-dir cache
+    tdm-repro figure_12 --scale 0.2 --shard 2/3 --shard-strategy cost --steal --cache-dir cache
+    tdm-repro figure_12 --scale 0.2 --shard 3/3 --shard-strategy cost --steal --cache-dir cache
 """
 
 from __future__ import annotations
@@ -37,8 +49,15 @@ from typing import Optional, Sequence
 from ..config import DMU_BACKENDS
 from ..errors import ExperimentError
 from .common import SimulationRunner
-from .registry import available_experiments, run_experiment
-from .shard import ShardSpec, merge_shards, run_shard_worker
+from .registry import available_experiments, resolve_plan, run_experiment
+from .shard import (
+    PLAN_STRATEGIES,
+    ShardPlan,
+    ShardSpec,
+    cost_model_for,
+    merge_shards,
+    run_shard_worker,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,6 +130,29 @@ def build_parser() -> argparse.ArgumentParser:
         "shard I of N into --cache-dir and write a shard manifest (no rendering)",
     )
     parser.add_argument(
+        "--shard-strategy",
+        choices=PLAN_STRATEGIES,
+        default="modulo",
+        help="shard partition strategy: 'modulo' (int(key,16) %% N, the default "
+        "and the cross-host contract) or 'cost' (LPT bin packing by predicted "
+        "wall time, calibrated from <cache-dir>/cost_profile.json when present). "
+        "Planning only — results and canonical keys are unaffected",
+    )
+    parser.add_argument(
+        "--steal",
+        action="store_true",
+        help="with --shard: after draining this shard's own bin, claim and "
+        "simulate unfinished keys of the whole plan through atomic claim files "
+        "(<cache-dir>/claims/); all stealing workers must share one --cache-dir",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the resolved plan (keys, predicted costs, shard assignment "
+        "under --shard-strategy) without simulating anything; use --shard I/N "
+        "to choose the shard count being audited",
+    )
+    parser.add_argument(
         "--merge-shards",
         metavar="DIR",
         nargs="+",
@@ -156,10 +198,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--cache-max-bytes requires --cache-dir")
     if args.shard is not None and args.merge_shards is not None:
         parser.error("--shard and --merge-shards are mutually exclusive")
-    if (args.shard is not None or args.merge_shards is not None) and args.cache_dir is None:
+    if (
+        (args.shard is not None or args.merge_shards is not None)
+        and args.cache_dir is None
+        and not args.dry_run
+    ):
         parser.error("--shard/--merge-shards require --cache-dir")
-    if (args.shard is not None or args.merge_shards is not None) and len(names) != 1:
-        parser.error("--shard/--merge-shards take a single experiment, not 'all'")
+    if (args.shard is not None or args.merge_shards is not None or args.dry_run) and len(names) != 1:
+        parser.error("--shard/--merge-shards/--dry-run take a single experiment, not 'all'")
+    if args.steal and args.shard is None and not args.dry_run:
+        parser.error("--steal requires --shard (it is a shard-worker mode)")
     runner = SimulationRunner(
         scale=args.scale,
         verbose=args.verbose,
@@ -169,6 +217,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         backend=args.backend,
     )
 
+    if args.dry_run:
+        # Audit mode: resolve and partition the plan, print it, simulate
+        # nothing.  A cache dir (when given) only contributes its cost
+        # profile, so predictions reflect what a worker would plan with.
+        try:
+            count = ShardSpec.parse(args.shard).count if args.shard is not None else 1
+            plan = ShardPlan(
+                resolve_plan(names[0], runner, benchmarks=args.benchmarks),
+                count,
+                strategy=args.shard_strategy,
+                cost_model=cost_model_for(args.cache_dir, args.scale),
+            )
+        except ExperimentError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(plan.describe(names[0]))
+        return 0
+
     if args.shard is not None:
         try:
             manifest = run_shard_worker(
@@ -177,6 +243,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 runner,
                 benchmarks=args.benchmarks,
                 manifest=args.manifest,
+                strategy=args.shard_strategy,
+                steal=args.steal,
             )
         except ExperimentError as error:
             print(f"error: {error}", file=sys.stderr)

@@ -9,7 +9,16 @@ distribution almost free — the only things a multi-host campaign needs are
   :class:`ShardPlan` assigns every canonical key to shard
   ``int(key, 16) % N``: a pure function of the key *value*, so the split is
   identical on every host regardless of plan enumeration order, Python
-  hash randomization, or how many duplicate requests a harness plans;
+  hash randomization, or how many duplicate requests a harness plans.
+  The modulo partition is blind to run *cost*, so ``strategy="cost"``
+  instead bin-packs the keys by predicted wall time (LPT greedy over a
+  :class:`~repro.runtime.cost_model.CampaignCostModel`, deterministic
+  tie-breaks by key) — same disjoint-cover law, straggler-free bins;
+* an opt-in **work-stealing mode** for the residual prediction error and
+  for dead hosts: a shard that drains its own bin claims unfinished keys
+  of the whole plan through atomic ``O_EXCL`` claim files in the shared
+  cache directory (:class:`ClaimBoard`), so idle peers absorb a slow or
+  killed shard's work and every key still simulates exactly once;
 * a **shard worker** (:func:`run_shard_worker`, reachable as
   ``tdm-repro <experiment> --shard i/N`` and ``scripts/run_shard.py``)
   that simulates only its slice into a shared or per-shard cache directory
@@ -29,15 +38,26 @@ distribution almost free — the only things a multi-host campaign needs are
 
 from __future__ import annotations
 
+import dataclasses
+import heapq
 import json
+import os
 import pathlib
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Union
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple, Union
 
 from ..errors import ExperimentError
-from .cache import CACHE_FORMAT_VERSION, ResultCache, atomic_write
+from ..runtime.cost_model import CampaignCostModel
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    CLAIMS_DIRNAME,
+    ResultCache,
+    atomic_write,
+    load_cost_profile,
+    store_cost_profile,
+)
 from .campaign import CampaignRunError, ResolvedRun
 from .common import SimulationRunner
 
@@ -45,6 +65,15 @@ from .common import SimulationRunner
 #: Cache entry enumeration pins the ``??/`` fan-out layout, so manifests can
 #: live inside the cache directory without being pruned/merged as results.
 MANIFEST_DIRNAME = "manifests"
+
+#: Shard-manifest schema version.  v2 added ``key_timings`` (per-key wall
+#: seconds of the runs this worker simulated), ``stolen_keys`` and
+#: ``strategy``; the reader accepts v1 manifests (the new fields default)
+#: and ignores fields it does not know, so mixed-version fleets merge.
+MANIFEST_VERSION = 2
+
+#: Partition strategies a :class:`ShardPlan` supports.
+PLAN_STRATEGIES = ("modulo", "cost")
 
 
 def shard_of(key: str, count: int) -> int:
@@ -94,6 +123,31 @@ class ShardSpec:
         return f"{self.index}/{self.count}"
 
 
+def lpt_assignment(costs: Dict[str, float], count: int) -> Dict[str, int]:
+    """Longest-processing-time greedy bin packing of keys into ``count`` bins.
+
+    Keys are placed in decreasing predicted-cost order (ties broken by key,
+    so the result is a pure function of the cost map), each onto the
+    currently least-loaded bin (load ties broken by lowest bin index).
+    Returns key -> 0-based bin.  Classic LPT guarantees a max-bin load
+    within 4/3 of optimal; for this planner the property that matters is
+    determinism — two hosts computing the same costs compute the same bins.
+
+    Degenerate all-equal-costs input reduces to round-robin over the
+    key-sorted order, which tests pin as the contract.
+    """
+    if count < 1:
+        raise ExperimentError(f"shard count must be >= 1, got {count}")
+    bins: List[Tuple[float, int]] = [(0.0, index) for index in range(count)]
+    heapq.heapify(bins)
+    assignment: Dict[str, int] = {}
+    for key in sorted(costs, key=lambda key: (-costs[key], key)):
+        load, index = heapq.heappop(bins)
+        assignment[key] = index
+        heapq.heappush(bins, (load + costs[key], index))
+    return assignment
+
+
 class ShardPlan:
     """A deterministic partition of a plan's canonical key space.
 
@@ -102,16 +156,56 @@ class ShardPlan:
     one key describe the identical simulation by construction) and the
     retained runs are key-sorted, so two hosts enumerating the same
     experiment always agree on both membership and order.
+
+    Two partition strategies:
+
+    * ``"modulo"`` (the default and the on-disk contract): shard
+      ``int(key, 16) % N`` — a pure function of the key value, requiring no
+      cost information at all.
+    * ``"cost"``: LPT bin packing over predicted wall times from a
+      :class:`~repro.runtime.cost_model.CampaignCostModel` (uncalibrated
+      analytic model when none is given).  Still deterministic — the model
+      is a pure function of workload parameters and the shared cost
+      profile — but hosts planning ``cost`` shards **must** share the same
+      profile state (or none); the modulo partition needs no such care.
+
+    Either way the partition never affects results: canonical keys ignore
+    it, and merged output is byte-identical regardless of who ran what.
     """
 
-    def __init__(self, resolved: Iterable[ResolvedRun], count: int) -> None:
+    def __init__(
+        self,
+        resolved: Iterable[ResolvedRun],
+        count: int,
+        strategy: str = "modulo",
+        cost_model: Optional[CampaignCostModel] = None,
+    ) -> None:
         if count < 1:
             raise ExperimentError(f"shard count must be >= 1, got {count}")
+        if strategy not in PLAN_STRATEGIES:
+            raise ExperimentError(
+                f"unknown shard strategy {strategy!r}; available: {', '.join(PLAN_STRATEGIES)}"
+            )
         self.count = count
+        self.strategy = strategy
         unique: Dict[str, ResolvedRun] = {}
         for item in resolved:
             unique.setdefault(item.key, item)
         self._runs: List[ResolvedRun] = [unique[key] for key in sorted(unique)]
+        model = cost_model
+        if model is None and strategy == "cost":
+            model = CampaignCostModel()
+        #: Predicted cost per key: model predictions when a model is
+        #: available (for dry-run audits and balance metrics under either
+        #: strategy), else a flat 1.0 (loads then count keys).
+        self._costs: Dict[str, float] = {
+            item.key: (float(model.predict(item)) if model is not None else 1.0)
+            for item in self._runs
+        }
+        if strategy == "cost":
+            self._owner = lpt_assignment(self._costs, count)
+        else:
+            self._owner = {item.key: shard_of(item.key, count) for item in self._runs}
 
     def __len__(self) -> int:
         return len(self._runs)
@@ -132,11 +226,115 @@ class ShardPlan:
             raise ExperimentError(
                 f"shard spec {spec} does not match plan sharded {self.count} ways"
             )
-        return [item for item in self._runs if spec.owns(item.key)]
+        return [item for item in self._runs if self._owner[item.key] == spec.index - 1]
 
     def assignment(self) -> Dict[str, int]:
         """Canonical key -> owning shard index (1-based), for every key."""
-        return {item.key: shard_of(item.key, self.count) + 1 for item in self._runs}
+        return {key: owner + 1 for key, owner in self._owner.items()}
+
+    def predicted_cost(self, key: str) -> float:
+        """Predicted wall seconds of one key (1.0 flat without a model)."""
+        return self._costs[key]
+
+    def shard_loads(self) -> List[float]:
+        """Total predicted cost per shard, indexed 0-based."""
+        loads = [0.0] * self.count
+        for key, owner in self._owner.items():
+            loads[owner] += self._costs[key]
+        return loads
+
+    def describe(self, experiment: str = "") -> str:
+        """Human-readable plan audit: the ``--dry-run`` output.
+
+        Key-sorted rows (key prefix, owning shard, predicted cost, workload
+        parameters) under per-shard load summaries — what an operator reads
+        to judge whether the balance is worth a cost-strategy campaign.
+        """
+        loads = self.shard_loads()
+        mean = sum(loads) / len(loads) if loads else 0.0
+        peak = max(loads) if loads else 0.0
+        lines = [
+            f"[plan] {experiment or 'plan'} strategy={self.strategy} "
+            f"shards={self.count}: {len(self)} keys, predicted total "
+            f"{sum(loads):.3f}s, max shard {peak:.3f}s, mean shard {mean:.3f}s"
+        ]
+        counts = [0] * self.count
+        for owner in self._owner.values():
+            counts[owner] += 1
+        for index in range(self.count):
+            lines.append(
+                f"  shard {index + 1}/{self.count}: {counts[index]} keys, "
+                f"predicted {loads[index]:.3f}s"
+            )
+        lines.append("  key          shard  cost_s    run")
+        for item in self._runs:
+            request = item.request
+            described = f"{request.benchmark} {request.runtime}/{request.scheduler}"
+            if request.granularity is not None:
+                described += f" granularity={request.granularity}"
+            lines.append(
+                f"  {item.key[:12]}  {self._owner[item.key] + 1:>5}  "
+                f"{self._costs[item.key]:<8.3f}  {described}"
+            )
+        return "\n".join(lines)
+
+
+class ClaimBoard:
+    """Atomic work-stealing claims through a shared cache directory.
+
+    One file per claimed key, ``<cache>/claims/<key>.claim``, created with
+    ``O_CREAT | O_EXCL`` — the filesystem's only atomic test-and-set — so
+    when two workers race for a key exactly one wins, with no coordinator
+    and no locks.  Claim files carry only advisory text (who claimed, when)
+    for operators; correctness never reads their contents.
+
+    Claims are per-campaign scratch: the ``claims/`` directory lives inside
+    the cache dir, is invisible to :class:`ResultCache` entry enumeration
+    (the ``??/*.json`` pin), is never copied by ``merge_from``, and a dead
+    worker's orphaned claims are repaired by ``reset`` + rerun (the merge
+    completeness check catches claimed-but-never-simulated keys).
+    """
+
+    def __init__(self, cache_dir: Union[str, pathlib.Path]) -> None:
+        self.directory = pathlib.Path(cache_dir) / CLAIMS_DIRNAME
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.claim"
+
+    def claim(self, key: str, owner: str = "") -> bool:
+        """Atomically claim ``key``; True iff this caller won it."""
+        try:
+            descriptor = os.open(
+                self.path_for(key), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return False
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(f"{owner} {time.time():.3f}\n")
+        return True
+
+    def claimed(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def release(self, key: str) -> None:
+        """Drop one claim (missing is fine — e.g. a concurrent reset)."""
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
+
+    def claimed_keys(self) -> List[str]:
+        """Every currently claimed key, sorted."""
+        return sorted(path.stem for path in self.directory.glob("*.claim"))
+
+    def reset(self) -> int:
+        """Delete every claim (before rerunning a crashed steal campaign)."""
+        dropped = 0
+        for key in self.claimed_keys():
+            self.release(key)
+            dropped += 1
+        return dropped
 
 
 @dataclass
@@ -155,6 +353,16 @@ class ShardManifest:
     failures: Dict[str, Dict[str, object]] = field(default_factory=dict)
     wall_time_s: float = 0.0
     cache_format_version: int = CACHE_FORMAT_VERSION
+    #: Wall seconds of each run this worker *simulated* (cache hits record
+    #: nothing), by canonical key — the raw observations behind the
+    #: campaign cost model.  New in manifest v2; empty for v1 manifests.
+    key_timings: Dict[str, float] = field(default_factory=dict)
+    #: Keys this worker claimed from other shards' bins (subset of
+    #: ``keys``).  New in manifest v2.
+    stolen_keys: List[str] = field(default_factory=list)
+    #: Partition strategy the worker planned with.  New in manifest v2.
+    strategy: str = "modulo"
+    manifest_version: int = MANIFEST_VERSION
 
     @property
     def attempted(self) -> int:
@@ -178,11 +386,25 @@ class ShardManifest:
             "failures": {key: dict(value) for key, value in sorted(self.failures.items())},
             "wall_time_s": self.wall_time_s,
             "cache_format_version": self.cache_format_version,
+            "key_timings": {key: self.key_timings[key] for key in sorted(self.key_timings)},
+            "stolen_keys": list(self.stolen_keys),
+            "strategy": self.strategy,
+            "manifest_version": self.manifest_version,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ShardManifest":
-        return cls(**data)
+        """Version-tolerant reader.
+
+        v1 manifests predate ``key_timings``/``stolen_keys``/``strategy``
+        (their defaults apply, and the version is recorded as 1); fields a
+        *newer* writer might add are dropped rather than crashing, so
+        mixed-version fleets keep merging.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        payload = {name: value for name, value in data.items() if name in known}
+        payload.setdefault("manifest_version", 1)
+        return cls(**payload)
 
     def write(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
         """Persist the manifest atomically (tmp+rename, like cache entries)."""
@@ -196,10 +418,11 @@ class ShardManifest:
             return cls.from_dict(json.load(handle))
 
     def summary(self) -> str:
+        stolen = f", {len(self.stolen_keys)} stolen" if self.stolen_keys else ""
         return (
             f"[shard {self.shard_index}/{self.shard_count}] {self.experiment}: "
             f"{self.attempted} keys, {self.cached_hits} cached, "
-            f"{self.simulated} simulated, {len(self.failures)} failures "
+            f"{self.simulated} simulated{stolen}, {len(self.failures)} failures "
             f"in {self.wall_time_s:.1f}s"
         )
 
@@ -237,12 +460,22 @@ def find_manifests(
     return sorted(root.glob(pattern)) if root.is_dir() else []
 
 
+def cost_model_for(
+    cache_dir: Optional[Union[str, pathlib.Path]], scale: float
+) -> CampaignCostModel:
+    """A campaign cost model calibrated from a cache dir's profile (if any)."""
+    profile = load_cost_profile(cache_dir) if cache_dir is not None else {}
+    return CampaignCostModel(profile, scale=scale)
+
+
 def run_shard_worker(
     experiment: str,
     shard: ShardSpec,
     runner: SimulationRunner,
     benchmarks: Optional[Sequence[str]] = None,
     manifest: Optional[Union[str, pathlib.Path]] = None,
+    strategy: str = "modulo",
+    steal: bool = False,
     **plan_kwargs: object,
 ) -> ShardManifest:
     """Execute one shard of an experiment's plan and write its manifest.
@@ -254,21 +487,68 @@ def run_shard_worker(
     whole slice.  Rerunning a shard against a surviving cache is a pure
     warm-up: every key hits, ``simulated`` stays 0, and the manifest is
     rewritten to reflect the healthy state.
+
+    ``strategy="cost"`` plans the bins by predicted wall time (calibrated
+    from the cache directory's cost profile when one exists).  ``steal``
+    turns on work stealing: the worker claims each cold key through the
+    cache directory's :class:`ClaimBoard` before simulating it, and after
+    draining its own bin absorbs unfinished keys of the whole plan — so
+    all stealing workers must share one ``--cache-dir``.  A key some peer
+    already claimed is skipped (exactly-once by ``O_EXCL``); merged output
+    stays byte-identical to serial regardless of who ran what.
     """
     from .registry import resolve_plan  # local import: registry imports experiments
 
     engine = runner.engine
     if engine.disk_cache is None:
         raise ExperimentError("shard workers require --cache-dir (the cache is the shard output)")
-    plan = ShardPlan(resolve_plan(experiment, runner, benchmarks=benchmarks, **plan_kwargs),
-                     shard.count)
+    cache_dir = engine.disk_cache.directory
+    model = cost_model_for(cache_dir, runner.scale) if strategy == "cost" else None
+    plan = ShardPlan(
+        resolve_plan(experiment, runner, benchmarks=benchmarks, **plan_kwargs),
+        shard.count,
+        strategy=strategy,
+        cost_model=model,
+    )
     mine = plan.shard(shard)
+    claims = ClaimBoard(cache_dir) if steal else None
     failures: Dict[str, CampaignRunError] = {}
     hits_before = engine.memory_hits + engine.disk_hits
     simulated_before = engine.simulations_run
     started = time.perf_counter()
+    if claims is not None:
+        # Warm keys need no claim (already simulated); cold keys are claimed
+        # before running so a stealing peer can never duplicate them.
+        mine = [
+            item
+            for item in mine
+            if item.key in engine.disk_cache
+            or claims.claim(item.key, owner=f"shard {shard} own")
+        ]
     engine.run_many([item.request for item in mine], failures=failures)
+    stolen: List[ResolvedRun] = []
+    if claims is not None:
+        owner = plan.assignment()
+        # Steal most-expensive-first (predicted), key tie-break: the same
+        # LPT intuition — absorb the biggest outstanding chunks first.
+        foreign = sorted(
+            (item for item in plan.runs if owner[item.key] != shard.index),
+            key=lambda item: (-plan.predicted_cost(item.key), item.key),
+        )
+        for item in foreign:
+            if item.key in engine.disk_cache:
+                continue
+            if not claims.claim(item.key, owner=f"shard {shard} stolen"):
+                continue
+            stolen.append(item)
+            engine.run_many([item.request], failures=failures)
     wall = time.perf_counter() - started
+    attempted = mine + stolen
+    timings = {
+        item.key: round(engine.key_timings[item.key], 6)
+        for item in attempted
+        if item.key in engine.key_timings
+    }
     record = ShardManifest(
         experiment=experiment,
         shard_index=shard.index,
@@ -276,14 +556,24 @@ def run_shard_worker(
         scale=runner.scale,
         seed=runner.seed,
         benchmarks=list(benchmarks) if benchmarks is not None else None,
-        keys=[item.key for item in mine],
+        keys=[item.key for item in attempted],
         cached_hits=engine.memory_hits + engine.disk_hits - hits_before,
         simulated=engine.simulations_run - simulated_before,
         failures={key: error.to_dict() for key, error in failures.items()},
         wall_time_s=wall,
+        key_timings=timings,
+        stolen_keys=[item.key for item in stolen],
+        strategy=strategy,
     )
-    destination = manifest or manifest_path(engine.disk_cache.directory, experiment, shard)
+    destination = manifest or manifest_path(cache_dir, experiment, shard)
     record.write(destination)
+    if timings:
+        # Feed the observations back so the *next* cost-planned campaign
+        # over this cache directory is calibrated (merge_shards unions the
+        # same data across shard directories).
+        observer = model or cost_model_for(None, runner.scale)
+        resolved_by_key = {item.key: item for item in plan.runs}
+        store_cost_profile(cache_dir, observer.observations_for(timings, resolved_by_key))
     return record
 
 
@@ -309,9 +599,13 @@ class MergeReport:
             return self
         preview = ", ".join(key[:12] + "…" for key in self.missing_keys[:5])
         counts = {manifest.shard_count for manifest in self.manifests}
-        if len(counts) == 1:
+        strategies = {manifest.strategy for manifest in self.manifests}
+        if len(counts) == 1 and strategies <= {"modulo"}:
             # The owning shard of every missing key is computable — name the
-            # shards to rerun rather than making the operator guess.
+            # shards to rerun rather than making the operator guess.  Only
+            # the modulo partition is reconstructible from keys alone; a
+            # cost-planned campaign's bins depend on the profile state at
+            # planning time.
             count = counts.pop()
             owners = sorted({shard_of(key, count) + 1 for key in self.missing_keys})
             hint = f"rerun shards {owners} of {count} and re-merge"
@@ -380,9 +674,20 @@ def merge_shards(
     missing = [key for key in planned.keys() if key not in destination]
     failures: Dict[str, Dict[str, object]] = {}
     seen_shards: Dict[int, int] = {}
+    timings: Dict[str, float] = {}
     for manifest in manifests:
         failures.update(manifest.failures)
         seen_shards[manifest.shard_index] = manifest.shard_count
+        timings.update(manifest.key_timings)
+    if timings:
+        # Union every shard's per-key observations into the destination's
+        # persistent cost profile — the calibration corpus of the next
+        # cost-planned campaign over this cache.
+        observer = cost_model_for(None, runner.scale)
+        resolved_by_key = {item.key: item for item in planned.runs}
+        store_cost_profile(
+            dest_root, observer.observations_for(timings, resolved_by_key)
+        )
     count = shard_count or (max(seen_shards.values()) if seen_shards else 0)
     missing_shards = [
         index for index in range(1, count + 1) if index not in seen_shards

@@ -333,17 +333,34 @@ class TestCachePruneEdgeCases:
         assert new_key not in cache
 
     def test_manifests_inside_cache_dir_are_never_pruned_or_counted(self, tmp_path):
+        # Every non-result artifact a campaign parks inside the cache dir —
+        # shard manifests, work-stealing claims, the cost profile — must be
+        # invisible to entry enumeration, pruning, clearing and merging.
         cache = self._cache_with_keys(tmp_path, ["ab" + "0" * 62])
         manifest = cache.directory / "manifests" / "figure_10.shard-1-of-2.json"
         manifest.parent.mkdir()
         manifest.write_text('{"experiment": "figure_10"}', encoding="utf-8")
+        claim = cache.directory / "claims" / ("cd" * 32 + ".claim")
+        claim.parent.mkdir()
+        claim.write_text("shard 1/3 own\n", encoding="utf-8")
+        profile = cache.directory / "cost_profile.json"
+        profile.write_text('{"version": 1, "timings": {}}', encoding="utf-8")
+        artifacts = (manifest, claim, profile)
         assert len(cache) == 1
         stray = cache.total_bytes()
         assert stray == cache.path_for("ab" + "0" * 62).stat().st_size
-        assert cache.prune(0) == 1  # the entry, not the manifest
-        assert manifest.exists()
+        assert cache.prune(0) == 1  # the entry, none of the artifacts
+        assert all(path.exists() for path in artifacts)
         cache.clear()
-        assert manifest.exists()
+        assert all(path.exists() for path in artifacts)
+        # Merging this cache into another copies results only — a peer's
+        # claim files must never leak into (and poison) another worker's
+        # claim board, and profiles merge through store_cost_profile, not
+        # as cache entries.
+        other = self._cache_with_keys(tmp_path / "other", ["ef" + "0" * 62])
+        assert other.merge_from(cache) == 0  # the only entry was pruned
+        assert not (other.directory / "claims").exists()
+        assert not (other.directory / "cost_profile.json").exists()
 
     def test_midcampaign_eviction_never_loses_a_needed_result(self, tmp_path):
         # The harshest budget evicts every disk entry after each batch, yet

@@ -1,0 +1,171 @@
+"""The campaign cost model: analytic baseline, calibration, profile IO.
+
+The model's predictions feed cost-binned shard planning only — they never
+touch canonical keys or rendered bytes — so the properties worth pinning
+are the *planning* ones: units reflect the known workload asymmetries
+(task counts, runtime weight, DMU pressure), the least-squares calibration
+recovers an exact linear relationship, observations beat the analytic
+estimate for keys that were actually measured, and the persisted profile
+round-trips (and degrades to empty, never to a crash, on corruption).
+"""
+
+from __future__ import annotations
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.config import DMUConfig, default_paper_config
+from repro.experiments.cache import (
+    COST_PROFILE_FILENAME,
+    load_cost_profile,
+    store_cost_profile,
+)
+from repro.experiments.campaign import CampaignEngine, RunRequest
+from repro.runtime.cost_model import CampaignCostModel
+
+
+def resolved(benchmark="cholesky", runtime="tdm", scheduler="fifo", dmu=None, scale=0.1):
+    """A real resolved run (full config + canonical key) for model input."""
+    engine = CampaignEngine(scale=scale)
+    return engine.resolve(RunRequest(benchmark, runtime, scheduler, dmu=dmu))
+
+
+class TestAnalyticUnits:
+    def test_units_scale_linearly_with_problem_scale(self):
+        small = CampaignCostModel(scale=0.1)
+        large = CampaignCostModel(scale=0.2)
+        args = ("cholesky", "tdm")
+        assert large.analytic_units(*args) == pytest.approx(2 * small.analytic_units(*args))
+
+    def test_task_count_asymmetry_dominates(self):
+        """streamcluster (42k tasks) must predict far above histogram (512)."""
+        model = CampaignCostModel(scale=0.1)
+        heavy = model.analytic_units("streamcluster", "tdm")
+        light = model.analytic_units("histogram", "tdm")
+        assert heavy > 10 * light
+
+    def test_runtime_selects_task_count_column(self):
+        """QR has 1_496 software tasks but 11_440 TDM tasks (Table II)."""
+        model = CampaignCostModel(scale=1.0)
+        tdm = model.analytic_units("qr", "tdm", workload_runtime="tdm")
+        software = model.analytic_units("qr", "software", workload_runtime="software")
+        assert tdm > 2 * software  # despite software's higher per-task weight
+
+    def test_finite_dmu_pressure_raises_units(self):
+        model = CampaignCostModel(scale=1.0)
+        base = default_paper_config().dmu
+        tiny = DMUConfig(tat_entries=512, dat_entries=512)
+        assert model.analytic_units("cholesky", "tdm", dmu=tiny) > model.analytic_units(
+            "cholesky", "tdm", dmu=DMUConfig.ideal()
+        )
+        assert model.analytic_units("cholesky", "tdm", dmu=tiny) > model.analytic_units(
+            "cholesky", "tdm", dmu=base
+        )
+
+    def test_unknown_benchmark_gets_a_flat_guess(self):
+        model = CampaignCostModel(scale=1.0)
+        assert model.analytic_units("not-a-benchmark", "tdm") > 0
+
+
+class TestCalibration:
+    def test_uncalibrated_model_uses_the_default_rate(self):
+        model = CampaignCostModel()
+        assert model.seconds_per_unit == CampaignCostModel.DEFAULT_SECONDS_PER_UNIT
+        assert not model.calibrated
+
+    def test_least_squares_recovers_an_exact_linear_rate(self):
+        rate = 3.5e-5
+        profile = {
+            f"{index:064x}": {"units": units, "seconds": rate * units}
+            for index, units in enumerate([10.0, 250.0, 4000.0])
+        }
+        model = CampaignCostModel(profile)
+        assert model.seconds_per_unit == pytest.approx(rate)
+        assert model.calibrated
+
+    def test_fit_ignores_malformed_and_nonpositive_entries(self):
+        profile = {
+            "a" * 64: {"units": 100.0, "seconds": 2e-3},
+            "b" * 64: {"units": 0.0, "seconds": 5.0},  # nonpositive units
+            "c" * 64: {"units": 10.0, "seconds": -1.0},  # nonpositive seconds
+            "d" * 64: {"seconds": 1.0},  # missing units
+            "e" * 64: {"units": "lots", "seconds": 1.0},  # unparseable
+        }
+        model = CampaignCostModel(profile)
+        assert model.seconds_per_unit == pytest.approx(2e-5)
+
+    def test_prediction_prefers_the_key_s_own_observation(self):
+        run = resolved()
+        model = CampaignCostModel({run.key: {"units": 1.0, "seconds": 42.0}}, scale=0.1)
+        assert model.predict(run) == 42.0
+        other = resolved(benchmark="qr")
+        assert model.predict(other) != 42.0
+        assert model.predict(other) == pytest.approx(
+            model.seconds_per_unit * model.units_for(other)
+        )
+
+    def test_observations_for_joins_timings_with_resolved_runs(self):
+        run = resolved()
+        model = CampaignCostModel(scale=0.1)
+        entries = model.observations_for(
+            {run.key: 0.125, "f" * 64: 1.0, run.key + "x": -2.0},
+            {run.key: run},
+        )
+        assert set(entries) == {run.key}
+        assert entries[run.key]["seconds"] == pytest.approx(0.125)
+        assert entries[run.key]["units"] == pytest.approx(model.units_for(run), rel=1e-3)
+
+
+class TestProfilePersistence:
+    def test_round_trip(self, tmp_path):
+        entries = {"a" * 64: {"units": 10.0, "seconds": 0.5}}
+        path = store_cost_profile(tmp_path, entries)
+        assert path.name == COST_PROFILE_FILENAME
+        assert load_cost_profile(tmp_path) == entries
+
+    def test_merge_unions_and_newer_entries_win(self, tmp_path):
+        store_cost_profile(tmp_path, {"a" * 64: {"units": 1.0, "seconds": 1.0}})
+        store_cost_profile(
+            tmp_path,
+            {
+                "a" * 64: {"units": 1.0, "seconds": 2.0},
+                "b" * 64: {"units": 3.0, "seconds": 4.0},
+            },
+        )
+        profile = load_cost_profile(tmp_path)
+        assert profile["a" * 64]["seconds"] == 2.0
+        assert set(profile) == {"a" * 64, "b" * 64}
+
+    def test_missing_or_corrupt_profiles_degrade_to_empty(self, tmp_path):
+        assert load_cost_profile(tmp_path) == {}
+        (tmp_path / COST_PROFILE_FILENAME).write_text("{not json", encoding="utf-8")
+        assert load_cost_profile(tmp_path) == {}
+        (tmp_path / COST_PROFILE_FILENAME).write_text(
+            json.dumps({"version": 1, "timings": [1, 2, 3]}), encoding="utf-8"
+        )
+        assert load_cost_profile(tmp_path) == {}
+
+    def test_model_built_from_a_stored_profile_is_calibrated(self, tmp_path):
+        run = resolved()
+        model = CampaignCostModel(scale=0.1)
+        store_cost_profile(tmp_path, model.observations_for({run.key: 0.25}, {run.key: run}))
+        reloaded = CampaignCostModel(load_cost_profile(tmp_path), scale=0.1)
+        assert reloaded.calibrated
+        assert reloaded.predict(run) == pytest.approx(0.25)
+
+
+class TestDuckTypedPredict:
+    def test_predict_accepts_any_resolved_run_shaped_object(self):
+        """ShardPlan hands the model SimpleNamespace stand-ins in tests."""
+        model = CampaignCostModel(scale=1.0)
+        fake = SimpleNamespace(
+            key="a" * 64,
+            request=SimpleNamespace(
+                benchmark="cholesky", runtime="tdm", scheduler="fifo"
+            ),
+            config=SimpleNamespace(dmu=DMUConfig.ideal()),
+            workload_runtime="tdm",
+        )
+        assert model.predict(fake) > 0

@@ -16,14 +16,18 @@ This module makes that promise executable:
 from __future__ import annotations
 
 import multiprocessing
+from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
 from repro.errors import ExperimentError
+from repro.experiments.cache import load_cost_profile
 from repro.experiments.campaign import CampaignRunError
 from repro.experiments.common import SimulationRunner
 from repro.experiments.registry import resolve_plan, run_experiment
 from repro.experiments.shard import (
+    MANIFEST_VERSION,
+    ClaimBoard,
     ShardManifest,
     ShardSpec,
     manifest_path,
@@ -82,6 +86,139 @@ class TestDifferentialEquivalence:
             assert manifest.scale == SCALE
             assert manifest.simulated == manifest.attempted  # cold caches
             assert manifest.ok
+
+
+class TestCostAndStealDeterminism:
+    """Planning strategy and work stealing never reach the rendered bytes."""
+
+    def test_cost_strategy_split_and_merge_is_byte_identical(
+        self, serial_outputs, tmp_path
+    ):
+        figure = "figure_12"
+        manifests = run_all_shards(
+            figure, SCALE, BENCHMARKS, tmp_path, count=3, strategy="cost"
+        )
+        # Cost bins still partition the plan: every key attempted once.
+        all_keys = sorted(key for manifest in manifests for key in manifest.keys)
+        planned = resolve_plan(figure, SimulationRunner(scale=SCALE), benchmarks=BENCHMARKS)
+        assert all_keys == [item.key for item in planned]
+        assert all(manifest.strategy == "cost" for manifest in manifests)
+        # Cold caches: every simulated key carries a wall-time observation.
+        for manifest in manifests:
+            assert sorted(manifest.key_timings) == sorted(manifest.keys)
+            assert all(seconds > 0 for seconds in manifest.key_timings.values())
+
+        csv, markdown, merged = merge_and_render(figure, SCALE, BENCHMARKS, tmp_path, count=3)
+        assert (csv, markdown) == serial_outputs[figure]
+        assert merged.cache_info()["simulations_run"] == 0
+        # The merge unioned every shard's observations into the calibration
+        # corpus of the next cost-planned campaign over this cache.
+        profile = load_cost_profile(tmp_path / "merged")
+        assert sorted(profile) == all_keys
+
+    def test_steal_absorbs_a_dead_shard_with_every_key_simulated_once(
+        self, serial_outputs, tmp_path
+    ):
+        figure = "figure_12"
+        planned = resolve_plan(figure, SimulationRunner(scale=SCALE), benchmarks=BENCHMARKS)
+        shared = tmp_path / "shared"
+        # Shard 3 of 3 is a dead host: it never runs.  Shards 1 and 2 share
+        # one cache directory and steal.
+        manifests = []
+        for index in (1, 2):
+            runner = SimulationRunner(scale=SCALE, cache_dir=shared)
+            manifests.append(
+                run_shard_worker(
+                    figure,
+                    ShardSpec(index, 3),
+                    runner,
+                    benchmarks=BENCHMARKS,
+                    strategy="cost",
+                    steal=True,
+                )
+            )
+        # Exactly-once: each planned key was simulated by exactly one
+        # worker (key_timings records only *simulated* runs), and the two
+        # workers together simulated exactly the plan.
+        simulated = sorted(key for manifest in manifests for key in manifest.key_timings)
+        assert simulated == [item.key for item in planned]
+        assert sum(manifest.simulated for manifest in manifests) == len(planned)
+        # Somebody stole the dead shard's bin.
+        assert any(manifest.stolen_keys for manifest in manifests)
+        assert all(not manifest.failures for manifest in manifests)
+
+        # Merge is a completeness check over the shared dir — complete
+        # despite the dead host — and renders the exact serial bytes.
+        csv, markdown, merged = merge_and_render(
+            figure, SCALE, BENCHMARKS, tmp_path, count=3, sources=[shared]
+        )
+        assert (csv, markdown) == serial_outputs[figure]
+        assert merged.cache_info()["simulations_run"] == 0
+
+    def test_steal_rerun_against_warm_shared_cache_simulates_nothing(self, tmp_path):
+        figure = "figure_10"
+        shared = tmp_path / "shared"
+        run_all_shards(
+            figure, SCALE, BENCHMARKS, tmp_path, count=2, strategy="cost",
+            steal=True, shared=True,
+        )
+        # Every worker rerun is a pure warm-up: warm keys need no claim, so
+        # even the already-claimed board cannot block convergence.
+        for index in (1, 2):
+            runner = SimulationRunner(scale=SCALE, cache_dir=shared)
+            rerun = run_shard_worker(
+                figure, ShardSpec(index, 2), runner, benchmarks=BENCHMARKS,
+                strategy="cost", steal=True,
+            )
+            assert rerun.simulated == 0
+            assert rerun.cached_hits == rerun.attempted
+
+    def test_claim_board_race_has_exactly_one_winner_per_key(self, tmp_path):
+        board = ClaimBoard(tmp_path / "cache")
+        keys = [f"{index:064x}" for index in range(64)]
+
+        def contend(worker):
+            return [key for key in keys if board.claim(key, owner=f"worker{worker}")]
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            wins = list(pool.map(contend, range(4)))
+        claimed = sorted(key for won in wins for key in won)
+        assert claimed == keys  # every key won exactly once across workers
+        assert board.claimed_keys() == keys
+        assert board.reset() == len(keys)
+        assert board.claimed_keys() == []
+
+    def test_manifest_reader_tolerates_versions(self):
+        v2 = ShardManifest(
+            experiment="figure_10",
+            shard_index=1,
+            shard_count=2,
+            scale=SCALE,
+            seed=0,
+            benchmarks=None,
+            keys=["ab" * 32],
+            simulated=1,
+            key_timings={"ab" * 32: 0.25},
+            stolen_keys=["ab" * 32],
+            strategy="cost",
+        )
+        assert ShardManifest.from_dict(v2.to_dict()) == v2
+        assert v2.manifest_version == MANIFEST_VERSION
+
+        # A v1 manifest predates key_timings/stolen_keys/strategy entirely.
+        v1_payload = {
+            name: value
+            for name, value in v2.to_dict().items()
+            if name not in ("key_timings", "stolen_keys", "strategy", "manifest_version")
+        }
+        v1 = ShardManifest.from_dict(v1_payload)
+        assert v1.manifest_version == 1
+        assert v1.key_timings == {} and v1.stolen_keys == [] and v1.strategy == "modulo"
+        assert " stolen" not in v1.summary()
+
+        # Fields from a *future* writer are dropped, not fatal.
+        future = dict(v2.to_dict(), manifest_version=3, carbon_footprint_g=12.5)
+        assert ShardManifest.from_dict(future).keys == v2.keys
 
 
 class TestResumability:

@@ -61,17 +61,30 @@ def run_all_shards(
     benchmarks: Optional[Sequence[str]],
     shard_root: pathlib.Path,
     count: int,
+    strategy: str = "modulo",
+    steal: bool = False,
+    shared: bool = False,
 ) -> list[ShardManifest]:
     """Simulate every shard of an experiment into per-shard cache dirs.
 
     Each shard gets a *fresh* runner — the same isolation N distinct hosts
-    would have — persisting to ``<shard_root>/shard<i>``.
+    would have — persisting to ``<shard_root>/shard<i>``, or to one
+    ``<shard_root>/shared`` directory with ``shared=True`` (the layout a
+    shared-filesystem or work-stealing campaign requires).
     """
     manifests = []
     for index in range(1, count + 1):
-        runner = SimulationRunner(scale=scale, cache_dir=shard_root / f"shard{index}")
+        cache_dir = shard_root / ("shared" if shared else f"shard{index}")
+        runner = SimulationRunner(scale=scale, cache_dir=cache_dir)
         manifests.append(
-            run_shard_worker(experiment, ShardSpec(index, count), runner, benchmarks=benchmarks)
+            run_shard_worker(
+                experiment,
+                ShardSpec(index, count),
+                runner,
+                benchmarks=benchmarks,
+                strategy=strategy,
+                steal=steal,
+            )
         )
     return manifests
 
@@ -82,13 +95,16 @@ def merge_and_render(
     benchmarks: Optional[Sequence[str]],
     shard_root: pathlib.Path,
     count: int,
+    sources: Optional[Sequence[pathlib.Path]] = None,
 ) -> Tuple[str, str, SimulationRunner]:
     """Union the shard caches, verify completeness, render from the union.
 
     Returns (CSV, Markdown, the merge runner) so callers can additionally
-    assert that rendering simulated nothing.
+    assert that rendering simulated nothing.  ``sources`` overrides the
+    default per-shard directory layout (e.g. one shared cache directory).
     """
-    sources = [shard_root / f"shard{index}" for index in range(1, count + 1)]
+    if sources is None:
+        sources = [shard_root / f"shard{index}" for index in range(1, count + 1)]
     runner = SimulationRunner(scale=scale, cache_dir=shard_root / "merged")
     merge_shards(experiment, sources, runner, benchmarks=benchmarks).verify()
     csv, markdown = experiment_output(experiment, scale, benchmarks, runner=runner)
