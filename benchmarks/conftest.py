@@ -30,51 +30,43 @@ Two environment variables control the cost of the campaign:
     row assertions are skipped.  Run shard sessions on N hosts against a
     shared (or later-merged) cache directory, then one plain session renders
     every figure from pure cache hits and asserts as usual.
+
+``REPRO_BENCH_BACKEND``
+    DMU storage backend for the campaign (``pure``/``accel``); unset falls
+    back to the config default (itself overridable via ``REPRO_BACKEND``).
+
+The knobs are parsed by :mod:`repro.experiments.env` — one definition shared
+with ``scripts/run_campaign*.py`` — which also honors the deprecated
+``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` spellings with a DeprecationWarning.
 """
 
 from __future__ import annotations
 
-import os
 from typing import Optional, Sequence
 
 import pytest
 
 from repro.experiments.common import SimulationRunner
+from repro.experiments.env import (
+    bench_backend,
+    bench_benchmarks,
+    bench_cache_dir,
+    bench_jobs,
+    bench_scale,
+    bench_shard,
+)
 from repro.experiments.registry import plan_function, run_experiment
-from repro.experiments.shard import ShardSpec, run_shard_worker
-
-DEFAULT_SCALE = 0.25
-
-
-def bench_scale() -> float:
-    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
-
-
-def bench_benchmarks(default: Optional[Sequence[str]]) -> Optional[Sequence[str]]:
-    raw = os.environ.get("REPRO_BENCH_BENCHMARKS")
-    if not raw:
-        return default
-    return [name.strip() for name in raw.split(",") if name.strip()]
-
-
-def bench_jobs() -> int:
-    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
-
-
-def bench_cache_dir() -> Optional[str]:
-    return os.environ.get("REPRO_BENCH_CACHE_DIR") or None
-
-
-def bench_shard() -> Optional[ShardSpec]:
-    raw = os.environ.get("REPRO_BENCH_SHARDS")
-    return ShardSpec.parse(raw) if raw else None
+from repro.experiments.shard import run_shard_worker
 
 
 @pytest.fixture(scope="session")
 def shared_runner() -> SimulationRunner:
     """One memoizing runner shared by every harness in the session."""
     return SimulationRunner(
-        scale=bench_scale(), jobs=bench_jobs(), cache_dir=bench_cache_dir()
+        scale=bench_scale(),
+        jobs=bench_jobs(),
+        cache_dir=bench_cache_dir(),
+        backend=bench_backend(),
     )
 
 

@@ -15,21 +15,30 @@ import pathlib
 import time
 
 from repro.experiments.common import SimulationRunner
+from repro.experiments.env import bench_backend, bench_cache_dir, bench_jobs
 from repro.experiments.registry import run_experiment
 
 
 def main() -> None:
+    # The REPRO_BENCH_* environment (shared with the benchmark suite and
+    # run_campaign_rest.py, see repro.experiments.env) provides the flag
+    # defaults, so one exported environment configures every driver alike.
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.4)
     parser.add_argument("--output", type=pathlib.Path, default=pathlib.Path("results"))
     parser.add_argument("--sweep-scale", type=float, default=None,
                         help="scale for the design-space sweeps (default: same as --scale)")
-    parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for the campaign engine (default: serial)")
-    parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
-                        help="persist simulation results here; reruns resume incrementally")
+    parser.add_argument("--jobs", type=int, default=bench_jobs(),
+                        help="worker processes for the campaign engine "
+                        "(default: REPRO_BENCH_JOBS or serial)")
+    parser.add_argument("--cache-dir", type=pathlib.Path, default=bench_cache_dir(),
+                        help="persist simulation results here; reruns resume "
+                        "incrementally (default: REPRO_BENCH_CACHE_DIR)")
     parser.add_argument("--cache-max-bytes", type=int, default=None,
                         help="size budget for --cache-dir (oldest-mtime entries evicted first)")
+    parser.add_argument("--backend", default=bench_backend(),
+                        help="DMU storage backend, pure or accel "
+                        "(default: REPRO_BENCH_BACKEND or the config default)")
     args = parser.parse_args()
     if args.cache_max_bytes is not None and args.cache_dir is None:
         parser.error("--cache-max-bytes requires --cache-dir")
@@ -37,10 +46,12 @@ def main() -> None:
 
     runner = SimulationRunner(scale=args.scale, verbose=True,
                               jobs=args.jobs, cache_dir=args.cache_dir,
-                              cache_max_bytes=args.cache_max_bytes)
+                              cache_max_bytes=args.cache_max_bytes,
+                              backend=args.backend)
     sweep_runner = SimulationRunner(scale=args.sweep_scale or args.scale, verbose=True,
                                     jobs=args.jobs, cache_dir=args.cache_dir,
-                                    cache_max_bytes=args.cache_max_bytes)
+                                    cache_max_bytes=args.cache_max_bytes,
+                                    backend=args.backend)
 
     plan = [
         ("table_03", dict(runner=runner)),

@@ -5,41 +5,21 @@ Environment knobs (all optional): ``REPRO_BENCH_JOBS`` (worker processes,
 default 1), ``REPRO_BENCH_CACHE_DIR`` (persistent result cache, default
 none) and ``REPRO_BENCH_BACKEND`` (DMU storage backend, default the config
 default).  The pre-backend spellings ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``
-are still honored with a :class:`DeprecationWarning`.
+are still honored with a :class:`DeprecationWarning`; the shared handling
+lives in :mod:`repro.experiments.env`.
 """
-import os, pathlib, time, warnings
+import pathlib, time
 from repro.experiments.common import SimulationRunner
+from repro.experiments.env import bench_backend, bench_cache_dir, bench_jobs
 from repro.experiments.registry import run_experiment
-
-
-def bench_env(name: str, deprecated: str = None) -> str:
-    """``REPRO_BENCH_<name>`` from the environment, or None when unset.
-
-    ``deprecated`` names the pre-PR6 spelling (e.g. ``REPRO_JOBS``); it is
-    accepted with a DeprecationWarning, but the new name wins when both are
-    set.  Empty values count as unset either way.
-    """
-    value = os.environ.get(f"REPRO_BENCH_{name}")
-    if value:
-        return value
-    if deprecated:
-        value = os.environ.get(deprecated)
-        if value:
-            warnings.warn(
-                f"{deprecated} is deprecated; use REPRO_BENCH_{name} instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            return value
-    return None
 
 
 def main() -> None:
     out = pathlib.Path("results"); out.mkdir(exist_ok=True)
     runner = SimulationRunner(scale=0.25, verbose=True,
-                              jobs=int(bench_env("JOBS", "REPRO_JOBS") or "1"),
-                              cache_dir=bench_env("CACHE_DIR", "REPRO_CACHE_DIR"),
-                              backend=bench_env("BACKEND"))
+                              jobs=bench_jobs(),
+                              cache_dir=bench_cache_dir(),
+                              backend=bench_backend())
     plan = [
         ("figure_07", dict(benchmarks=["cholesky", "histogram", "qr", "lu", "ferret"])),
         ("figure_08", dict(benchmarks=["cholesky", "histogram", "qr"])),

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Launch the campaign results daemon (the script twin of ``tdm-repro serve``).
+
+Environment knobs (all optional): ``REPRO_BENCH_CACHE_DIR`` (the daemon's
+persistent result cache — strongly recommended, reruns serve from disk),
+``REPRO_BENCH_JOBS`` (simulation process-pool size, default 2).  Flags win
+over the environment.
+
+Examples::
+
+    REPRO_BENCH_CACHE_DIR=cache python scripts/run_server.py --port 8765
+    python scripts/run_server.py --cache-dir cache --workers 4
+"""
+import argparse
+
+from repro.experiments.env import bench_cache_dir, bench_jobs
+from repro.service.server import serve
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument("--cache-dir", default=bench_cache_dir())
+    parser.add_argument("--workers", type=int, default=max(bench_jobs(), 2))
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+    return serve(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        verbose=args.verbose,
+    )
+
+
+if __name__ == "__main__":  # required: the process pool re-imports this module
+    raise SystemExit(main())

@@ -29,6 +29,7 @@ import hashlib
 import json
 import os
 import pathlib
+import warnings
 from typing import Dict, List, Optional, Union
 
 from ..config import SimulationConfig
@@ -179,6 +180,11 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: LRU mtime refreshes that failed for a reason other than the entry
+        #: vanishing (read-only NFS mount, permission change, ...).  Reads
+        #: keep working — eviction order just degrades toward write-order for
+        #: the affected entries — and the first failure emits one warning.
+        self.mtime_refresh_failures = 0
 
     def path_for(self, key: str) -> pathlib.Path:
         """Cache file for ``key`` (two-level fan-out keeps directories small)."""
@@ -217,8 +223,23 @@ class ResultCache:
             # eviction: a key the current campaign just read back cannot be
             # the next one evicted mid-run.
             os.utime(path)
-        except OSError:  # entry vanished under a concurrent prune — still a hit
+        except FileNotFoundError:  # vanished under a concurrent prune — still a hit
             pass
+        except OSError:
+            # Read-only cache directory (an NFS mount a daemon or shard
+            # serves from, a permission squash): the result itself was read
+            # fine, so keep serving hits — only the LRU refresh is lost.
+            # Warn once per cache object; the counter stays visible (the
+            # results daemon reports it in /healthz).
+            self.mtime_refresh_failures += 1
+            if self.mtime_refresh_failures == 1:
+                warnings.warn(
+                    f"result cache {self.directory} is not writable; serving "
+                    "reads without LRU mtime refreshes (prune order degrades "
+                    "to write-order for these entries)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         return result
 
     def put(self, key: str, result: SimulationResult) -> pathlib.Path:

@@ -186,6 +186,8 @@ class CampaignEngine:
         cache_max_bytes: Optional[int] = None,
         verbose: bool = False,
         backend: Optional[str] = None,
+        disk_cache: Optional[ResultCache] = None,
+        program_cache: Optional[Dict[tuple, object]] = None,
     ) -> None:
         if not (0.0 < scale <= 1.0):
             raise ExperimentError(f"scale must be in (0, 1], got {scale}")
@@ -193,6 +195,8 @@ class CampaignEngine:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         if cache_max_bytes is not None and cache_max_bytes < 0:
             raise ExperimentError(f"cache_max_bytes must be >= 0, got {cache_max_bytes}")
+        if disk_cache is not None and cache_dir is not None:
+            raise ExperimentError("pass cache_dir or disk_cache, not both")
         self.scale = scale
         self.seed = seed
         self.jobs = jobs
@@ -206,7 +210,12 @@ class CampaignEngine:
         self.backend = backend
         if backend is not None:
             self.base_config = self.base_config.with_dmu_backend(backend).validated()
-        self.disk_cache = ResultCache(cache_dir) if cache_dir is not None else None
+        if disk_cache is not None:
+            # Injected shared cache: several engines (the results daemon keeps
+            # one per requested scale/seed) serve from one ResultCache.
+            self.disk_cache = disk_cache
+        else:
+            self.disk_cache = ResultCache(cache_dir) if cache_dir is not None else None
         #: Size budget for the on-disk cache; enforced (oldest-mtime entries
         #: evicted first) after every parallel batch and via
         #: :meth:`prune_disk_cache`.
@@ -217,8 +226,12 @@ class CampaignEngine:
         #: the runtime-comparison figures) re-simulate the *same* immutable
         #: program, so rebuilding it per run was pure overhead.  Bounded FIFO
         #: (workload sweeps such as the granularity figures produce many
-        #: distinct programs; keys are tiny but programs are not).
-        self._program_cache: Dict[tuple, object] = {}
+        #: distinct programs; keys are tiny but programs are not).  The cache
+        #: key embeds scale and seed, so an injected dict is safe to share
+        #: across engines with different parameters.
+        self._program_cache: Dict[tuple, object] = (
+            program_cache if program_cache is not None else {}
+        )
         self.simulations_run = 0
         self.memory_hits = 0
         self.disk_hits = 0
@@ -323,6 +336,45 @@ class CampaignEngine:
         if self.disk_cache is not None:
             self.disk_cache.put(resolved.key, result)
 
+    def cached(self, resolved: ResolvedRun) -> Optional[SimulationResult]:
+        """The memoized/persisted result for a resolved run, if any.
+
+        Public face of the lookup the run methods perform first — callers
+        that orchestrate their own execution (the results daemon offloads
+        simulation to an executor) probe with this and commit via
+        :meth:`commit_serialized`.
+        """
+        return self._lookup(resolved)
+
+    def commit_serialized(
+        self, key: str, result_dict: Dict[str, object], seconds: float = 0.0
+    ) -> SimulationResult:
+        """Commit one worker-serialized simulation result under its key.
+
+        This is the single write path for results produced *outside* the
+        engine's process: the ``run_many`` pool loop and the results
+        daemon's executor both land here, so counters, timings, memo and
+        disk persistence stay consistent regardless of who simulated.
+        """
+        self.simulations_run += 1
+        if seconds:
+            self.key_timings[key] = seconds
+        result = SimulationResult.from_dict(result_dict)
+        self._memo[key] = result
+        if self.disk_cache is not None:
+            # The worker already serialized; don't re-serialize.
+            self.disk_cache.put_serialized(key, result_dict)
+        return result
+
+    def payload_for(self, resolved: ResolvedRun) -> Dict[str, object]:
+        """The picklable worker payload of one resolved run.
+
+        Pairs with the module-level :func:`_simulate_entry` worker: external
+        executors submit ``_simulate_entry(payload_for(resolved))`` and feed
+        the outcome back through :meth:`commit_serialized`.
+        """
+        return self._payload(resolved)
+
     def _payload(self, resolved: ResolvedRun) -> Dict[str, object]:
         return {
             "key": resolved.key,
@@ -388,12 +440,7 @@ class CampaignEngine:
                         marker["traceback"],
                     )
                     continue
-                self.simulations_run += 1
-                self.key_timings[key] = seconds
-                self._memo[key] = SimulationResult.from_dict(result_dict)
-                if self.disk_cache is not None:
-                    # The worker already serialized; don't re-serialize.
-                    self.disk_cache.put_serialized(key, result_dict)
+                self.commit_serialized(key, result_dict, seconds)
         else:
             for item in ordered:
                 try:

@@ -37,6 +37,17 @@ Examples::
     tdm-repro figure_12 --scale 0.2 --shard 1/3 --shard-strategy cost --steal --cache-dir cache
     tdm-repro figure_12 --scale 0.2 --shard 2/3 --shard-strategy cost --steal --cache-dir cache
     tdm-repro figure_12 --scale 0.2 --shard 3/3 --shard-strategy cost --steal --cache-dir cache
+
+    # Long-running results daemon: one ResultCache and program cache serve
+    # every request; repeated sweeps cost zero simulations
+    tdm-repro serve --cache-dir cache --port 8765 --service-workers 4
+
+    # ... then render over HTTP: identical bytes to the CLI render, with an
+    # ETag over the resolved canonical key set (If-None-Match gives 304)
+    curl -s -X POST localhost:8765/figures/figure_02 \\
+        -d '{"scale": 0.2, "format": "csv"}'
+    curl -s localhost:8765/experiments
+    curl -s localhost:8765/healthz
 """
 
 from __future__ import annotations
@@ -174,6 +185,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(the missing points are simulated locally)",
     )
     parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve mode: interface to bind the results daemon to",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="serve mode: TCP port for the results daemon (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        help="serve mode: size of the daemon's simulation process pool",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list available experiments and exit",
@@ -192,6 +220,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.experiment is None:
         parser.error("an experiment name (or 'all') is required unless --list is given")
+
+    if args.experiment.lower() == "serve":
+        # Daemon mode: a long-running results server owning one ResultCache
+        # and program cache (see docs/architecture.md, "Results daemon").
+        if args.shard is not None or args.merge_shards is not None or args.dry_run:
+            parser.error("serve does not combine with --shard/--merge-shards/--dry-run")
+        if args.output is not None:
+            parser.error("serve has no --output; responses go to HTTP clients")
+        from ..service.server import serve as run_service
+
+        return run_service(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            workers=args.service_workers,
+            verbose=args.verbose,
+        )
 
     names = available_experiments() if args.experiment.lower() == "all" else [args.experiment]
     if args.cache_max_bytes is not None and args.cache_dir is None:

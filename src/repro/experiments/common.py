@@ -128,8 +128,12 @@ class SimulationRunner:
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         cache_max_bytes: Optional[int] = None,
         backend: Optional[str] = None,
+        engine: Optional[CampaignEngine] = None,
     ) -> None:
-        self.engine = CampaignEngine(
+        # An injected engine carries all its own parameters; the results
+        # daemon uses this to render through long-lived engines that share
+        # one disk cache and program cache across requests.
+        self.engine = engine or CampaignEngine(
             scale=scale,
             base_config=base_config,
             seed=seed,

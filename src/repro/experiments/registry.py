@@ -65,15 +65,48 @@ def available_experiments() -> List[str]:
     return list(_EXPERIMENTS)
 
 
-def get_experiment(name: str) -> ExperimentFunction:
-    """Look up an experiment ``run`` function by name or alias."""
+def experiment_catalog() -> List[Dict[str, object]]:
+    """Machine-readable description of every experiment, in paper order.
+
+    One entry per experiment: its canonical ``name``, the accepted
+    ``aliases``, a one-line ``title`` (the harness module's docstring
+    summary) and whether rendering it ``simulates`` (analytic tables have
+    no simulation plan and render instantly).  This is the payload of the
+    results daemon's ``GET /experiments`` endpoint and is equally usable
+    by scripts that want to enumerate the reproduction surface.
+    """
+    catalog: List[Dict[str, object]] = []
+    for name, function in _EXPERIMENTS.items():
+        module = sys.modules[function.__module__]
+        docstring = (module.__doc__ or "").strip()
+        title = docstring.splitlines()[0].rstrip(".") if docstring else name
+        catalog.append(
+            {
+                "name": name,
+                "aliases": sorted(
+                    alias for alias, target in _ALIASES.items() if target == name
+                ),
+                "title": title,
+                "simulates": getattr(module, "plan", None) is not None,
+            }
+        )
+    return catalog
+
+
+def canonical_name(name: str) -> str:
+    """Resolve an experiment name or alias to its canonical registry name."""
     key = name.lower()
     canonical = key if key in _EXPERIMENTS else _ALIASES.get(key)
     if canonical is None:
         raise ExperimentError(
             f"unknown experiment {name!r}; available: {', '.join(available_experiments())}"
         )
-    return _EXPERIMENTS[canonical]
+    return canonical
+
+
+def get_experiment(name: str) -> ExperimentFunction:
+    """Look up an experiment ``run`` function by name or alias."""
+    return _EXPERIMENTS[canonical_name(name)]
 
 
 def plan_function(name: str) -> Optional[Callable[..., List]]:

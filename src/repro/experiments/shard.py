@@ -288,31 +288,104 @@ class ClaimBoard:
     and no locks.  Claim files carry only advisory text (who claimed, when)
     for operators; correctness never reads their contents.
 
-    Claims are per-campaign scratch: the ``claims/`` directory lives inside
-    the cache dir, is invisible to :class:`ResultCache` entry enumeration
-    (the ``??/*.json`` pin), is never copied by ``merge_from``, and a dead
-    worker's orphaned claims are repaired by ``reset`` + rerun (the merge
-    completeness check catches claimed-but-never-simulated keys).
+    Claims are in-flight markers, not results: workers release them once the
+    key's cache entry exists (the entry itself is the durable dedup), and
+    ``merge_shards`` sweeps any *satisfied* leftovers (claim present, key
+    cached — a worker crashed between simulating and releasing).  A claim
+    whose key is already in the cache is likewise ignored — and replaced —
+    by :meth:`claim`, so stale scratch can never force a resimulated key.
+
+    The remaining orphan class — claimed but never simulated, the scratch a
+    killed ``--steal`` worker leaves behind — used to block its keys from
+    ever being re-stolen (every later worker lost the ``O_EXCL`` race to a
+    corpse).  :meth:`reclaim` repairs that: a claim older than this board's
+    construction cannot belong to a peer of *this* campaign (peers claim
+    after the campaign starts), so the caller takes it over through an
+    atomic ``os.replace`` to a per-pid tombstone — exactly one reclaimer
+    wins even when several race — and claims the key normally.  The
+    ``claims/`` directory lives inside the cache dir but is invisible to
+    :class:`ResultCache` entry enumeration (the ``??/*.json`` pin) and is
+    never copied by ``merge_from``.
     """
 
-    def __init__(self, cache_dir: Union[str, pathlib.Path]) -> None:
+    def __init__(
+        self,
+        cache_dir: Union[str, pathlib.Path],
+        cache: Optional[ResultCache] = None,
+    ) -> None:
         self.directory = pathlib.Path(cache_dir) / CLAIMS_DIRNAME
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: The cache whose entries satisfy claims (None = satisfied-claim
+        #: handling disabled; raw boards behave exactly as before).
+        self.cache = cache
+        #: Claims whose mtime predates this moment are from an earlier
+        #: campaign — eligible for :meth:`reclaim` takeover.
+        self._born = time.time()
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.directory / f"{key}.claim"
 
+    def _satisfied(self, key: str) -> bool:
+        return self.cache is not None and key in self.cache
+
     def claim(self, key: str, owner: str = "") -> bool:
-        """Atomically claim ``key``; True iff this caller won it."""
+        """Atomically claim ``key``; True iff this caller won it.
+
+        An existing claim whose key is already present in the cache is
+        stale scratch (the work it guarded is durably done): it is ignored
+        — released and re-claimed — rather than treated as a loss.
+        """
         try:
             descriptor = os.open(
                 self.path_for(key), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
             )
         except FileExistsError:
-            return False
+            if not self._satisfied(key):
+                return False
+            # Satisfied leftover: sweep it and retry the O_EXCL create once
+            # (a racing claimant may still win — that is fine, the key needs
+            # no simulation anyway).
+            self.release(key)
+            try:
+                descriptor = os.open(
+                    self.path_for(key), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                return False
         with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
             handle.write(f"{owner} {time.time():.3f}\n")
         return True
+
+    def reclaim(self, key: str, owner: str = "") -> bool:
+        """Take over a stale (pre-campaign) claim and claim ``key``; True iff won.
+
+        Stale means: the claim file's mtime predates this board's
+        construction — it cannot have been written by a peer of the current
+        campaign, only left behind by a dead one.  The takeover renames the
+        stale file to a per-pid tombstone (``os.replace`` is atomic, so
+        exactly one of several racing reclaimers wins) before claiming
+        normally.  A fresh claim — some live peer's in-flight work — is
+        respected and the call returns False.
+        """
+        path = self.path_for(key)
+        try:
+            stat = path.stat()
+        except OSError:
+            # Claim vanished (released or already reclaimed): race for it
+            # through the ordinary O_EXCL path.
+            return self.claim(key, owner)
+        if stat.st_mtime >= self._born:
+            return False
+        tombstone = path.with_name(f"{path.name}.stale.{os.getpid()}")
+        try:
+            os.replace(path, tombstone)
+        except OSError:
+            return False  # another reclaimer won the takeover
+        try:
+            tombstone.unlink()
+        except OSError:
+            pass
+        return self.claim(key, owner)
 
     def claimed(self, key: str) -> bool:
         return self.path_for(key).is_file()
@@ -327,6 +400,20 @@ class ClaimBoard:
     def claimed_keys(self) -> List[str]:
         """Every currently claimed key, sorted."""
         return sorted(path.stem for path in self.directory.glob("*.claim"))
+
+    def release_satisfied(self, cache: Optional[ResultCache] = None) -> int:
+        """Release every claim whose key is present in ``cache`` (or the
+        board's own cache); returns how many were swept.  Run by
+        ``merge_shards`` so a campaign's scratch never outlives it."""
+        cache = cache if cache is not None else self.cache
+        if cache is None:
+            return 0
+        swept = 0
+        for key in self.claimed_keys():
+            if key in cache:
+                self.release(key)
+                swept += 1
+        return swept
 
     def reset(self) -> int:
         """Delete every claim (before rerunning a crashed steal campaign)."""
@@ -511,21 +598,37 @@ def run_shard_worker(
         cost_model=model,
     )
     mine = plan.shard(shard)
-    claims = ClaimBoard(cache_dir) if steal else None
+    claims = ClaimBoard(cache_dir, cache=engine.disk_cache) if steal else None
     failures: Dict[str, CampaignRunError] = {}
     hits_before = engine.memory_hits + engine.disk_hits
     simulated_before = engine.simulations_run
     started = time.perf_counter()
+
+    def _settle(claimed: Iterable[ResolvedRun]) -> None:
+        # A claim's job ends when the key's cache entry exists (the entry is
+        # the durable dedup); failed keys keep their claim so peers do not
+        # re-attempt a deterministic failure — staleness handling lets a
+        # *later* campaign retry them.
+        for item in claimed:
+            if item.key in engine.disk_cache:
+                claims.release(item.key)
+
     if claims is not None:
         # Warm keys need no claim (already simulated); cold keys are claimed
-        # before running so a stealing peer can never duplicate them.
+        # before running so a stealing peer can never duplicate them.  A
+        # cold key whose claim predates this campaign belongs to a dead
+        # worker — the bin owner reclaims it, so a killed ``--steal`` run
+        # never permanently blocks its keys (the bug this fixed).
         mine = [
             item
             for item in mine
             if item.key in engine.disk_cache
             or claims.claim(item.key, owner=f"shard {shard} own")
+            or claims.reclaim(item.key, owner=f"shard {shard} reclaimed")
         ]
     engine.run_many([item.request for item in mine], failures=failures)
+    if claims is not None:
+        _settle(mine)
     stolen: List[ResolvedRun] = []
     if claims is not None:
         owner = plan.assignment()
@@ -538,10 +641,14 @@ def run_shard_worker(
         for item in foreign:
             if item.key in engine.disk_cache:
                 continue
-            if not claims.claim(item.key, owner=f"shard {shard} stolen"):
+            if not (
+                claims.claim(item.key, owner=f"shard {shard} stolen")
+                or claims.reclaim(item.key, owner=f"shard {shard} restolen")
+            ):
                 continue
             stolen.append(item)
             engine.run_many([item.request], failures=failures)
+            _settle([item])
     wall = time.perf_counter() - started
     attempted = mine + stolen
     timings = {
@@ -672,6 +779,12 @@ def merge_shards(
         resolve_plan(experiment, runner, benchmarks=benchmarks, **plan_kwargs), count=1
     )
     missing = [key for key in planned.keys() if key not in destination]
+    if (dest_root / CLAIMS_DIRNAME).is_dir():
+        # Sweep satisfied work-stealing claims (claim present, key cached —
+        # a worker crashed between simulating and releasing): the merge is
+        # the campaign's natural end, and stale scratch left behind would
+        # otherwise shadow the next campaign's claim board.
+        ClaimBoard(dest_root).release_satisfied(destination)
     failures: Dict[str, Dict[str, object]] = {}
     seen_shards: Dict[int, int] = {}
     timings: Dict[str, float] = {}

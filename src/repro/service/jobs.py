@@ -1,0 +1,117 @@
+"""Per-request progress records for the results daemon (``GET /jobs/<id>``).
+
+A job is the service-side analogue of a shard manifest: it reuses the
+:class:`~repro.experiments.shard.ShardManifest` vocabulary — ``keys`` /
+``attempted`` / ``cached_hits`` / ``simulated`` / ``failures`` /
+``wall_time_s`` — so campaign tooling that already parses manifests can
+read daemon job records without a second schema.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Job lifecycle states, in order.
+JOB_STATUSES = ("running", "done", "failed")
+
+
+@dataclass
+class JobRecord:
+    """What one render request attempted and how it went (JSON-safe)."""
+
+    id: str
+    experiment: str
+    scale: float
+    seed: int
+    benchmarks: Optional[List[str]]
+    keys: List[str] = field(default_factory=list)
+    cached_hits: int = 0
+    simulated: int = 0
+    failures: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    status: str = "running"
+    etag: Optional[str] = None
+    _started: float = field(default_factory=time.perf_counter, repr=False)
+
+    @property
+    def attempted(self) -> int:
+        return len(self.keys)
+
+    def finish(self, status: str = "done", etag: Optional[str] = None) -> None:
+        assert status in JOB_STATUSES
+        self.status = status
+        self.etag = etag
+        self.wall_time_s = time.perf_counter() - self._started
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "experiment": self.experiment,
+            "scale": self.scale,
+            "seed": self.seed,
+            "benchmarks": list(self.benchmarks) if self.benchmarks is not None else None,
+            "status": self.status,
+            "attempted": self.attempted,
+            "keys": list(self.keys),
+            "cached_hits": self.cached_hits,
+            "simulated": self.simulated,
+            "failures": {key: dict(value) for key, value in sorted(self.failures.items())},
+            "wall_time_s": self.wall_time_s,
+            "etag": self.etag,
+        }
+
+    def summary(self) -> str:
+        """One log line per request — the CI smoke greps ``simulated=N``."""
+        return (
+            f"job={self.id} experiment={self.experiment} status={self.status} "
+            f"keys={self.attempted} cached={self.cached_hits} "
+            f"simulated={self.simulated} failures={len(self.failures)} "
+            f"wall={self.wall_time_s:.2f}s"
+        )
+
+
+class JobTable:
+    """Bounded in-memory registry of job records, newest kept."""
+
+    def __init__(self, limit: int = 256) -> None:
+        self._jobs: Dict[str, JobRecord] = {}
+        self._ids = itertools.count(1)
+        self.limit = limit
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def create(
+        self,
+        experiment: str,
+        scale: float,
+        seed: int,
+        benchmarks: Optional[List[str]],
+        keys: List[str],
+    ) -> JobRecord:
+        job = JobRecord(
+            id=f"job-{next(self._ids)}",
+            experiment=experiment,
+            scale=scale,
+            seed=seed,
+            benchmarks=benchmarks,
+            keys=keys,
+        )
+        self._jobs[job.id] = job
+        # Evict the oldest finished records beyond the budget (insertion
+        # order is creation order; running jobs are never evicted).
+        excess = len(self._jobs) - self.limit
+        if excess > 0:
+            for job_id in [
+                existing
+                for existing, record in self._jobs.items()
+                if record.status != "running"
+            ][:excess]:
+                del self._jobs[job_id]
+        return job
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        return self._jobs.get(job_id)

@@ -1,0 +1,469 @@
+"""The campaign results daemon: a stdlib-only asyncio HTTP/JSON service.
+
+``tdm-repro serve`` (or ``scripts/run_server.py``) starts one
+:class:`ResultsService`.  The service owns, for its whole lifetime:
+
+* one :class:`~repro.experiments.cache.ResultCache` — every request's
+  engine reads and writes the same on-disk store;
+* one built-``TaskProgram`` cache — scheduler/runtime sweeps across
+  *requests* reuse the same immutable programs;
+* a bounded pool of :class:`~repro.experiments.campaign.CampaignEngine`
+  instances keyed by ``(scale, seed, backend)`` — the in-memory memo of a
+  warm parameter set;
+* a bounded ``ProcessPoolExecutor`` — simulations run in worker processes
+  (the engine's own picklable ``_simulate_entry`` body), so the event loop
+  never blocks on a simulation;
+* a :class:`~repro.service.singleflight.SingleFlight` group keyed by
+  canonical run key — N concurrent identical requests cost one simulation
+  per key.
+
+Endpoints::
+
+    GET  /experiments      registry listing (experiment_catalog)
+    POST /figures/<name>   render; JSON body of knobs; CSV/Markdown reply
+                           with a canonical-key-set ETag (If-None-Match
+                           revalidation answers 304 with zero simulation)
+    GET  /jobs/<id>        progress record in the ShardManifest vocabulary
+    GET  /healthz          liveness + cache/engine/flight counters
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple, Union
+import json
+
+from ..errors import ExperimentError
+from ..experiments.cache import ResultCache
+from ..experiments.campaign import (
+    _ERROR_MARKER,
+    _simulate_entry,
+    CampaignEngine,
+    CampaignRunError,
+    ResolvedRun,
+)
+from ..experiments.common import SimulationRunner
+from ..experiments.registry import (
+    canonical_name,
+    experiment_catalog,
+    plan_function,
+    resolve_plan,
+    run_experiment,
+)
+from .jobs import JobTable
+from .schemas import (
+    CONTENT_TYPES,
+    RenderRequest,
+    etag_for,
+    etag_matches,
+    parse_render_request,
+)
+from .singleflight import SingleFlight
+
+#: Largest accepted request body; render requests are a handful of knobs.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """An error with a definite HTTP status, rendered as a JSON body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ResultsService:
+    """The daemon: engine pool, simulation offload, request handlers."""
+
+    #: Engines kept warm; beyond this the oldest parameter set is dropped
+    #: (its results stay in the shared disk cache — only the memo goes).
+    ENGINE_LIMIT = 8
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        workers: int = 2,
+        verbose: bool = False,
+        log: TextIO = sys.stdout,
+    ) -> None:
+        if workers < 1:
+            raise ExperimentError(f"workers must be >= 1, got {workers}")
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.workers = workers
+        self.verbose = verbose
+        self._log_stream = log
+        #: Built task programs shared by every engine (keys embed scale/seed).
+        self.programs: Dict[tuple, object] = {}
+        self.engines: Dict[tuple, CampaignEngine] = {}
+        self.flights = SingleFlight()
+        self.jobs = JobTable()
+        self.executor: Optional[ProcessPoolExecutor] = None
+        self.started_at = time.time()
+        #: Serializes render sections per engine (simulations stay parallel:
+        #: the lock is only held around memo lookups and row assembly).
+        self._render_locks: Dict[tuple, asyncio.Lock] = {}
+
+    # ------------------------------------------------------------------ plumbing
+    def log(self, message: str) -> None:
+        print(f"[serve] {message}", file=self._log_stream, flush=True)
+
+    def engine_for(self, request: RenderRequest) -> CampaignEngine:
+        """The (warm or new) engine of one parameter set, sharing the caches."""
+        key = (request.scale, request.seed, request.backend)
+        engine = self.engines.get(key)
+        if engine is None:
+            engine = CampaignEngine(
+                scale=request.scale,
+                seed=request.seed,
+                backend=request.backend,
+                disk_cache=self.cache,
+                program_cache=self.programs,
+            )
+            if len(self.engines) >= self.ENGINE_LIMIT:
+                evicted = next(iter(self.engines))
+                del self.engines[evicted]
+                self._render_locks.pop(evicted, None)
+            self.engines[key] = engine
+            self._render_locks[key] = asyncio.Lock()
+        return engine
+
+    def _render_lock(self, request: RenderRequest) -> asyncio.Lock:
+        return self._render_locks[(request.scale, request.seed, request.backend)]
+
+    async def _simulate(self, engine: CampaignEngine, resolved: ResolvedRun) -> None:
+        """Simulate one resolved run in the worker pool and commit it.
+
+        Coalesced by canonical key across *all* concurrent requests and
+        engines: joiners of a flight started by another engine re-probe the
+        shared disk cache once the flight lands.
+        """
+
+        async def flight() -> None:
+            if engine.cached(resolved) is not None:
+                # A previous flight for this key landed between our caller's
+                # cache probe and takeoff — nothing left to simulate.
+                return
+            loop = asyncio.get_running_loop()
+            key, result_dict, seconds = await loop.run_in_executor(
+                self.executor, _simulate_entry, engine.payload_for(resolved)
+            )
+            marker = result_dict.get(_ERROR_MARKER)
+            if marker is not None:
+                raise CampaignRunError(
+                    key,
+                    marker["params"],
+                    marker["error_type"],
+                    marker["error_message"],
+                    marker["traceback"],
+                )
+            engine.commit_serialized(key, result_dict, seconds)
+
+        await self.flights.run(resolved.key, flight)
+        if engine.cached(resolved) is None:
+            # The flight was another engine's (same key, different backend):
+            # it committed to the shared disk cache; adopt the result.
+            raise _HttpError(
+                500, f"simulation {resolved.key[:12]}… landed but is not cached"
+            )
+
+    # ------------------------------------------------------------------ handlers
+    async def handle_experiments(self) -> Tuple[int, bytes, str, Dict[str, str]]:
+        body = _json_bytes({"experiments": experiment_catalog()})
+        return 200, body, "application/json", {}
+
+    async def handle_healthz(self) -> Tuple[int, bytes, str, Dict[str, str]]:
+        body = _json_bytes(
+            {
+                "status": "ok",
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "engines": len(self.engines),
+                "jobs": len(self.jobs),
+                "flights": {
+                    "in_flight": len(self.flights),
+                    "started": self.flights.started,
+                    "joined": self.flights.joined,
+                },
+                "cache_dir": str(self.cache.directory) if self.cache is not None else None,
+            }
+        )
+        return 200, body, "application/json", {}
+
+    async def handle_job(self, job_id: str) -> Tuple[int, bytes, str, Dict[str, str]]:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        return 200, _json_bytes(job.to_dict()), "application/json", {}
+
+    async def handle_render(
+        self, name: str, body: bytes, if_none_match: Optional[str]
+    ) -> Tuple[int, bytes, str, Dict[str, str]]:
+        try:
+            experiment = canonical_name(name)
+        except ExperimentError as error:
+            raise _HttpError(404, str(error)) from error
+        try:
+            request = parse_render_request(body)
+        except ExperimentError as error:
+            raise _HttpError(400, str(error)) from error
+
+        engine = self.engine_for(request)
+        runner = SimulationRunner(engine=engine)
+        try:
+            plan = plan_function(experiment)
+            resolved: List[ResolvedRun] = (
+                resolve_plan(
+                    experiment, runner,
+                    benchmarks=request.benchmarks, **request.plan_kwargs(),
+                )
+                if plan is not None
+                else []
+            )
+        except ExperimentError as error:
+            raise _HttpError(400, str(error)) from error
+
+        etag = etag_for(experiment, request, [item.key for item in resolved])
+        if etag_matches(if_none_match, etag):
+            # Revalidation is pure identity: no simulation, no render.
+            self.log(f"revalidated experiment={experiment} etag={etag[1:13]}… 304")
+            return 304, b"", CONTENT_TYPES[request.format], {"ETag": etag}
+
+        job = self.jobs.create(
+            experiment, request.scale, request.seed, request.benchmarks,
+            [item.key for item in resolved],
+        )
+        try:
+            payload = await self._render(engine, experiment, request, resolved, job)
+        except CampaignRunError as error:
+            job.failures[error.key] = error.to_dict()
+            job.finish("failed")
+            self.log(job.summary())
+            raise _HttpError(500, str(error)) from error
+        except _HttpError:
+            job.finish("failed")
+            self.log(job.summary())
+            raise
+        except ExperimentError as error:
+            job.finish("failed")
+            self.log(job.summary())
+            raise _HttpError(400, str(error)) from error
+        job.finish("done", etag=etag)
+        self.log(job.summary())
+        headers = {"ETag": etag, "X-Job-Id": job.id}
+        return 200, payload, CONTENT_TYPES[request.format], headers
+
+    async def _render(
+        self,
+        engine: CampaignEngine,
+        experiment: str,
+        request: RenderRequest,
+        resolved: Sequence[ResolvedRun],
+        job,
+    ) -> bytes:
+        """Simulate what is missing, then render from the warm engine."""
+        missing = []
+        for item in resolved:
+            if engine.cached(item) is None:
+                missing.append(item)
+            else:
+                job.cached_hits += 1
+        if missing:
+            await asyncio.gather(
+                *(self._simulate(engine, item) for item in missing)
+            )
+        # Keys this request had to wait on a simulation for.  Single-flight
+        # means concurrent identical requests each report the shared wait;
+        # the engine's `simulations_run` counter stays the ground truth for
+        # how many actually ran.
+        job.simulated = len(missing)
+        lock = self._render_lock(request)
+        async with lock:
+            # Every key is warm: the render is pure memo reads + row math,
+            # so holding the per-engine lock here serializes only cheap
+            # sections (concurrent different-engine renders still overlap).
+            try:
+                result = await asyncio.to_thread(
+                    run_experiment,
+                    experiment,
+                    scale=request.scale,
+                    benchmarks=request.benchmarks,
+                    runner=SimulationRunner(engine=engine),
+                    **request.plan_kwargs(),
+                )
+            except TypeError as error:
+                # An option the harness does not take (e.g. schedulers on a
+                # figure without a scheduler sweep) → caller error.
+                raise _HttpError(400, f"unsupported option for {experiment}: {error}") from error
+        text = result.to_csv() if request.format == "csv" else result.to_markdown()
+        return text.encode("utf-8")
+
+    # ------------------------------------------------------------------ HTTP
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            parsed = await _read_request(reader)
+            if parsed is None:
+                return
+            method, target, headers, body = parsed
+            status, payload, content_type, extra = await self._route(
+                method, target, headers, body
+            )
+        except _HttpError as error:
+            status, payload, content_type, extra = (
+                error.status,
+                _json_bytes({"error": str(error)}),
+                "application/json",
+                {},
+            )
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        except Exception as error:  # noqa: BLE001 - daemon must not die per-request
+            self.log(f"internal error: {type(error).__name__}: {error}")
+            status, payload, content_type, extra = (
+                500,
+                _json_bytes({"error": f"{type(error).__name__}: {error}"}),
+                "application/json",
+                {},
+            )
+        try:
+            _write_response(writer, status, payload, content_type, extra)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _route(
+        self, method: str, target: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, bytes, str, Dict[str, str]]:
+        path = target.split("?", 1)[0]
+        if path == "/healthz":
+            _require(method, "GET")
+            return await self.handle_healthz()
+        if path == "/experiments":
+            _require(method, "GET")
+            return await self.handle_experiments()
+        if path.startswith("/jobs/"):
+            _require(method, "GET")
+            return await self.handle_job(path[len("/jobs/"):])
+        if path.startswith("/figures/"):
+            _require(method, "POST")
+            return await self.handle_render(
+                path[len("/figures/"):], body, headers.get("if-none-match")
+            )
+        raise _HttpError(404, f"no route for {path!r}")
+
+    # ------------------------------------------------------------------ lifecycle
+    async def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        ready: Optional[asyncio.Event] = None,
+        bound: Optional[list] = None,
+    ) -> None:
+        """Run until cancelled.  ``ready``/``bound`` exist for test harnesses:
+        ``bound`` receives the actual ``(host, port)`` (``port=0`` binds an
+        ephemeral one) before ``ready`` is set."""
+        self.executor = ProcessPoolExecutor(max_workers=self.workers)
+        server = await asyncio.start_server(self.handle_connection, host, port)
+        try:
+            address = server.sockets[0].getsockname()[:2]
+            if bound is not None:
+                bound.append(address)
+            self.log(
+                f"listening on http://{address[0]}:{address[1]} "
+                f"(cache={self.cache.directory if self.cache is not None else 'memory-only'}, "
+                f"workers={self.workers})"
+            )
+            if ready is not None:
+                ready.set()
+            async with server:
+                await server.serve_forever()
+        finally:
+            self.executor.shutdown(wait=False, cancel_futures=True)
+            self.executor = None
+
+
+def _require(method: str, expected: str) -> None:
+    if method != expected:
+        raise _HttpError(405, f"method {method} not allowed (use {expected})")
+
+
+def _json_bytes(data: Dict[str, object]) -> bytes:
+    return (json.dumps(data, indent=1, sort_keys=True) + "\n").encode("utf-8")
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise _HttpError(400, "malformed request line")
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError as error:
+        raise _HttpError(400, "malformed Content-Length") from error
+    if length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: bytes,
+    content_type: str,
+    extra: Dict[str, str],
+) -> None:
+    lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}"]
+    headers = dict(extra)
+    headers.setdefault("Connection", "close")
+    if status != 304:
+        headers.setdefault("Content-Type", content_type)
+        headers.setdefault("Content-Length", str(len(payload)))
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    writer.write(head + (payload if status != 304 else b""))
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    cache_dir: Optional[Union[str, pathlib.Path]] = None,
+    workers: int = 2,
+    verbose: bool = False,
+) -> int:
+    """Blocking entry point shared by ``tdm-repro serve`` and run_server.py."""
+    service = ResultsService(cache_dir=cache_dir, workers=workers, verbose=verbose)
+    try:
+        asyncio.run(service.serve(host=host, port=port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        service.log("shutting down")
+    return 0

@@ -1,0 +1,48 @@
+"""Single-flight coalescing of concurrent identical async work.
+
+The results daemon dedupes simulation work by canonical run key: when N
+clients concurrently request figures whose sweeps share a key, exactly one
+simulation runs and every waiter receives its result.  The pattern is the
+classic ``singleflight`` group (one in-flight task per key, joiners await
+it) adapted to asyncio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, TypeVar
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """One in-flight task per key; concurrent callers share its outcome.
+
+    ``run(key, thunk)`` starts ``thunk()`` only if no flight for ``key`` is
+    already airborne, otherwise it joins the existing one.  Failures
+    propagate to *every* waiter (each retries independently on its next
+    request — a failed flight is forgotten, not cached).  Waiters are
+    shielded: one client disconnecting must not cancel the simulation the
+    others are waiting on.
+    """
+
+    def __init__(self) -> None:
+        self._flights: Dict[str, asyncio.Task] = {}
+        #: Completed-flight counters, for tests and ``/healthz``.
+        self.started = 0
+        self.joined = 0
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    async def run(self, key: str, thunk: Callable[[], Awaitable[T]]) -> T:
+        """Run ``thunk`` under ``key``, or join the flight already running it."""
+        task = self._flights.get(key)
+        if task is None:
+            self.started += 1
+            task = asyncio.ensure_future(thunk())
+            self._flights[key] = task
+            task.add_done_callback(lambda _done, _key=key: self._flights.pop(_key, None))
+        else:
+            self.joined += 1
+        return await asyncio.shield(task)

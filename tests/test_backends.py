@@ -11,7 +11,6 @@ benchmark environment-variable convention.
 from __future__ import annotations
 
 import dataclasses
-import importlib.util
 import pathlib
 import random
 import warnings
@@ -167,34 +166,44 @@ class TestCanonicalKeyExclusion:
 
 
 class TestBenchEnvConvention:
-    """scripts/run_campaign_rest.py honors REPRO_BENCH_* with deprecation."""
+    """The campaign scripts honor REPRO_BENCH_* through the shared shim.
 
-    @pytest.fixture(scope="class")
-    def rest_module(self):
-        path = (
-            pathlib.Path(__file__).resolve().parent.parent
-            / "scripts" / "run_campaign_rest.py"
-        )
-        spec = importlib.util.spec_from_file_location("run_campaign_rest", path)
-        module = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(module)
-        return module
+    The handling itself lives in :mod:`repro.experiments.env` (exhaustively
+    covered by ``tests/test_env.py``); here we pin that the script layer
+    actually routes through it — the drift this convention fixes was
+    ``scripts/run_campaign_rest.py`` carrying a private copy.
+    """
 
-    def test_new_name_wins_without_warning(self, rest_module, monkeypatch):
+    def test_new_name_wins_without_warning(self, monkeypatch):
+        from repro.experiments.env import bench_env
+
         monkeypatch.setenv("REPRO_BENCH_JOBS", "4")
         monkeypatch.setenv("REPRO_JOBS", "2")
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            assert rest_module.bench_env("JOBS", "REPRO_JOBS") == "4"
+            assert bench_env("JOBS", "REPRO_JOBS") == "4"
 
-    def test_deprecated_name_warns_and_is_honored(self, rest_module, monkeypatch):
+    def test_deprecated_name_warns_and_is_honored(self, monkeypatch):
+        from repro.experiments.env import bench_env
+
         monkeypatch.delenv("REPRO_BENCH_CACHE_DIR", raising=False)
         monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
         with pytest.warns(DeprecationWarning, match="REPRO_CACHE_DIR is deprecated"):
-            value = rest_module.bench_env("CACHE_DIR", "REPRO_CACHE_DIR")
+            value = bench_env("CACHE_DIR", "REPRO_CACHE_DIR")
         assert value == "/tmp/somewhere"
 
-    def test_empty_values_count_as_unset(self, rest_module, monkeypatch):
+    def test_empty_values_count_as_unset(self, monkeypatch):
+        from repro.experiments.env import bench_env
+
         monkeypatch.setenv("REPRO_BENCH_BACKEND", "")
         monkeypatch.delenv("REPRO_BACKEND", raising=False)
-        assert rest_module.bench_env("BACKEND") is None
+        assert bench_env("BACKEND") is None
+
+    @pytest.mark.parametrize(
+        "script", ["run_campaign_rest.py", "run_campaign.py", "run_server.py"]
+    )
+    def test_scripts_use_the_shared_shim(self, script):
+        path = pathlib.Path(__file__).resolve().parent.parent / "scripts" / script
+        source = path.read_text(encoding="utf-8")
+        assert "from repro.experiments.env import" in source
+        assert "def bench_env" not in source  # no private copies left

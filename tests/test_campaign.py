@@ -8,6 +8,7 @@ results.  The canonical content hash must keep every such pair distinct.
 
 import dataclasses
 import json
+import warnings
 
 import pytest
 
@@ -158,6 +159,51 @@ class TestResultCache:
         cache.put("12" + "0" * 62, result)
         cache.clear()
         assert len(cache) == 0
+
+    def test_read_only_cache_keeps_serving_hits(self, tmp_path, monkeypatch):
+        """A read-only cache directory (NFS mount, permission squash) must
+        degrade gracefully: the LRU mtime refresh fails, reads keep working,
+        one warning fires, and the failure counter keeps counting."""
+        cache = ResultCache(tmp_path)
+        result = run_simulation(diamond_program(), make_config(runtime="software"))
+        key = "ab" + "0" * 62
+        cache.put(key, result)
+
+        import os as os_module
+
+        def read_only_utime(*args, **kwargs):
+            raise PermissionError(30, "Read-only file system")
+
+        monkeypatch.setattr("repro.experiments.cache.os.utime", read_only_utime)
+        with pytest.warns(RuntimeWarning, match="is not writable"):
+            restored = cache.get(key)
+        assert restored is not None
+        assert restored.total_cycles == result.total_cycles
+        assert cache.hits == 1
+        assert cache.mtime_refresh_failures == 1
+        # Later hits keep serving and counting, but warn only once.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.get(key) is not None
+        assert cache.hits == 2
+        assert cache.mtime_refresh_failures == 2
+        assert os_module.utime is not None  # monkeypatch scoped to the module under test
+
+    def test_vanished_entry_mtime_refresh_stays_silent(self, tmp_path, monkeypatch):
+        # A concurrent prune deleting the entry between read and refresh is
+        # normal operation, not a degradation — no warning, no counter.
+        cache = ResultCache(tmp_path)
+        result = run_simulation(diamond_program(), make_config(runtime="software"))
+        key = "cd" + "0" * 62
+        cache.put(key, result)
+        monkeypatch.setattr(
+            "repro.experiments.cache.os.utime",
+            lambda *args, **kwargs: (_ for _ in ()).throw(FileNotFoundError()),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.get(key) is not None
+        assert cache.mtime_refresh_failures == 0
 
 
 class TestEngineCaching:

@@ -188,6 +188,102 @@ class TestCostAndStealDeterminism:
         assert board.reset() == len(keys)
         assert board.claimed_keys() == []
 
+    def test_stale_claims_from_a_killed_worker_do_not_block_the_rerun(
+        self, serial_outputs, tmp_path
+    ):
+        """The stale-claim regression: a ``--steal`` worker killed after
+        claiming (but before simulating) used to leave ``claims/*.claim``
+        scratch that made every later worker skip those keys forever — the
+        rerun never converged.  Pre-campaign claims are now reclaimed."""
+        figure = "figure_12"
+        shared = tmp_path / "shared"
+        planned = resolve_plan(figure, SimulationRunner(scale=SCALE), benchmarks=BENCHMARKS)
+        # A killed worker claimed every key of the plan, simulated none.
+        board = ClaimBoard(shared)
+        for item in planned:
+            assert board.claim(item.key, owner="dead worker")
+        # Backdate the claims: a real rerun happens later than the crash,
+        # and staleness is judged against the new board's construction time.
+        import os
+        import time
+
+        past = time.time() - 600
+        for item in planned:
+            os.utime(board.path_for(item.key), (past, past))
+
+        manifests = []
+        for index in (1, 2):
+            runner = SimulationRunner(scale=SCALE, cache_dir=shared)
+            manifests.append(
+                run_shard_worker(
+                    figure, ShardSpec(index, 2), runner,
+                    benchmarks=BENCHMARKS, strategy="cost", steal=True,
+                )
+            )
+        simulated = sorted(key for manifest in manifests for key in manifest.key_timings)
+        assert simulated == [item.key for item in planned]
+        assert sum(manifest.simulated for manifest in manifests) == len(planned)
+        assert all(not manifest.failures for manifest in manifests)
+        csv, markdown, merged = merge_and_render(
+            figure, SCALE, BENCHMARKS, tmp_path, count=2, sources=[shared]
+        )
+        assert (csv, markdown) == serial_outputs[figure]
+        assert merged.cache_info()["simulations_run"] == 0
+
+    def test_completed_workers_release_their_claims(self, tmp_path):
+        run_all_shards(
+            "figure_10", SCALE, BENCHMARKS, tmp_path, count=2,
+            strategy="cost", steal=True, shared=True,
+        )
+        # Claims are in-flight markers: a healthy campaign leaves none.
+        assert ClaimBoard(tmp_path / "shared").claimed_keys() == []
+
+    def test_fresh_claims_are_respected_not_reclaimed(self, tmp_path):
+        board = ClaimBoard(tmp_path / "cache")
+        key = "ab" * 32
+        assert board.claim(key, owner="live peer")
+        later = ClaimBoard(tmp_path / "cache")
+        # The claim predates `later`'s construction by microseconds at most;
+        # force the unambiguous case by stamping it into the future.
+        import os
+        import time
+
+        ahead = time.time() + 600
+        os.utime(board.path_for(key), (ahead, ahead))
+        assert not later.reclaim(key, owner="impatient peer")
+        assert board.claimed_keys() == [key]
+
+    def test_claim_for_a_cached_key_is_ignored(self, tmp_path):
+        from repro.experiments.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        key = "cd" * 32
+        cache.put_serialized(key, {"marker": True})
+        board = ClaimBoard(tmp_path / "cache", cache=cache)
+        # Leftover claim for an already-cached key: swept, not a blocker.
+        orphan = ClaimBoard(tmp_path / "cache")
+        assert orphan.claim(key, owner="crashed after simulating")
+        assert board.claim(key, owner="current campaign")
+        assert board.release_satisfied() == 1
+        assert board.claimed_keys() == []
+
+    def test_merge_sweeps_satisfied_claims(self, tmp_path):
+        figure = "figure_10"
+        shared = tmp_path / "shared"
+        run_all_shards(
+            figure, SCALE, BENCHMARKS, tmp_path, count=2,
+            strategy="cost", steal=True, shared=True,
+        )
+        # Simulate a worker that crashed between caching and releasing:
+        # its keys are in the cache, its claims still on the board.
+        planned = resolve_plan(figure, SimulationRunner(scale=SCALE), benchmarks=BENCHMARKS)
+        board = ClaimBoard(shared)
+        for item in planned:
+            board.claim(item.key, owner="crashed before releasing")
+        runner = SimulationRunner(scale=SCALE, cache_dir=shared)
+        merge_shards(figure, [shared], runner, benchmarks=BENCHMARKS).verify()
+        assert ClaimBoard(shared).claimed_keys() == []
+
     def test_manifest_reader_tolerates_versions(self):
         v2 = ShardManifest(
             experiment="figure_10",
