@@ -1,11 +1,20 @@
-"""Experiment registry: run any table/figure reproduction by name.
+"""Experiment registry: run any table/figure/scenario reproduction by name.
 
-When an experiment module exposes a ``plan(runner, benchmarks, **kwargs)``
-function (every simulating harness does), :func:`run_experiment` prefetches
-the planned runs through the runner's campaign engine before invoking the
-harness.  With a parallel runner (``jobs > 1``) the whole sweep fans out
-over the process pool and the harness then assembles its rows from cache
-hits; with a serial runner the plan is skipped and behavior is unchanged.
+Two populations share one namespace: the paper's figures and tables
+(registered eagerly below, with ``fig2``/``figure12``-style aliases derived
+from their names) and the curated scenario bundles from
+:mod:`repro.scenarios.registry` (registered lazily on first lookup, so
+importing this module never drags the scenario subsystem in).  Everything
+downstream — the CLI, sharding, the results daemon — resolves names through
+:func:`canonical_name` and is agnostic to which population a name belongs
+to.
+
+When an experiment has a ``plan`` function (every simulating harness does),
+:func:`run_experiment` prefetches the planned runs through the runner's
+campaign engine before invoking the harness.  With a parallel runner
+(``jobs > 1``) the whole sweep fans out over the process pool and the
+harness then assembles its rows from cache hits; with a serial runner the
+plan is skipped and behavior is unchanged.
 
 :func:`resolve_plan` exposes the same plan as resolved runs (canonical key
 plus full configuration, deduplicated and key-sorted) — the authoritative
@@ -36,65 +45,134 @@ from . import (
 from .common import ExperimentResult, SimulationRunner
 
 ExperimentFunction = Callable[..., ExperimentResult]
+PlanFunction = Callable[..., List]
 
-_EXPERIMENTS: Dict[str, ExperimentFunction] = {
-    "figure_02": fig02_breakdown.run,
-    "figure_06": fig06_granularity.run,
-    "table_02": table02_characteristics.run,
-    "figure_07": fig07_tat_dat.run,
-    "figure_08": fig08_list_arrays.run,
-    "figure_09": fig09_latency.run,
-    "table_03": table03_area.run,
-    "figure_10": fig10_creation_time.run,
-    "figure_11": fig11_dat_occupancy.run,
-    "figure_12": fig12_schedulers.run,
-    "figure_13": fig13_comparison.run,
-}
+_EXPERIMENTS: Dict[str, ExperimentFunction] = {}
+_PLANS: Dict[str, Optional[PlanFunction]] = {}
+_TITLES: Dict[str, str] = {}
+_KINDS: Dict[str, str] = {}
 
-#: Aliases accepted by the CLI (fig2, fig12, table2, ...).
+#: Aliases accepted by the CLI (fig2, fig12, table2, scenario names, ...).
 _ALIASES: Dict[str, str] = {}
-for _name in list(_EXPERIMENTS):
-    _kind, _, _number = _name.partition("_")
-    _ALIASES[f"{_kind[:3]}{int(_number)}"] = _name
-    _ALIASES[f"{_kind}{int(_number)}"] = _name
-    _ALIASES[_name.replace("_", "")] = _name
+
+
+def register_experiment(
+    name: str,
+    run: ExperimentFunction,
+    plan: Optional[PlanFunction] = None,
+    title: Optional[str] = None,
+    aliases: Sequence[str] = (),
+    kind: str = "paper",
+    replace: bool = False,
+) -> None:
+    """Register one experiment under ``name`` (and optional ``aliases``).
+
+    ``plan`` is the sweep enumerator used for prefetching and sharding
+    (None for analytic tables); ``title`` is the one-line human description
+    shown in catalogs; ``kind`` tags the population (``paper`` or
+    ``scenario``) so catalogs can group without parsing names.
+    """
+    key = name.lower()
+    if key in _EXPERIMENTS and not replace:
+        raise ExperimentError(f"experiment {name!r} is already registered")
+    _EXPERIMENTS[key] = run
+    _PLANS[key] = plan
+    _KINDS[key] = kind
+    if title is None:
+        module = sys.modules.get(run.__module__)
+        docstring = (getattr(module, "__doc__", None) or "").strip()
+        title = docstring.splitlines()[0].rstrip(".") if docstring else key
+    _TITLES[key] = title
+    for alias in aliases:
+        alias_key = alias.lower()
+        target = _ALIASES.get(alias_key)
+        if target is not None and target != key and not replace:
+            raise ExperimentError(
+                f"alias {alias!r} already points at experiment {target!r}"
+            )
+        _ALIASES[alias_key] = key
+
+
+def _register_paper_experiments() -> None:
+    modules = {
+        "figure_02": fig02_breakdown,
+        "figure_06": fig06_granularity,
+        "table_02": table02_characteristics,
+        "figure_07": fig07_tat_dat,
+        "figure_08": fig08_list_arrays,
+        "figure_09": fig09_latency,
+        "table_03": table03_area,
+        "figure_10": fig10_creation_time,
+        "figure_11": fig11_dat_occupancy,
+        "figure_12": fig12_schedulers,
+        "figure_13": fig13_comparison,
+    }
+    for name, module in modules.items():
+        kind_word, _, number = name.partition("_")
+        register_experiment(
+            name,
+            module.run,
+            plan=getattr(module, "plan", None),
+            aliases=(
+                f"{kind_word[:3]}{int(number)}",
+                f"{kind_word}{int(number)}",
+                name.replace("_", ""),
+            ),
+            kind="paper",
+        )
+
+
+_register_paper_experiments()
+
+_scenarios_loaded = False
+
+
+def _ensure_scenarios() -> None:
+    """Lazily register the scenario bundles (idempotent, import-cycle safe)."""
+    global _scenarios_loaded
+    if _scenarios_loaded:
+        return
+    _scenarios_loaded = True
+    from ..scenarios.registry import register_scenario_experiments
+
+    register_scenario_experiments(register_experiment)
 
 
 def available_experiments() -> List[str]:
-    """Names of every reproducible table/figure, in paper order."""
+    """Names of every reproducible table/figure/scenario, in registry order."""
+    _ensure_scenarios()
     return list(_EXPERIMENTS)
 
 
 def experiment_catalog() -> List[Dict[str, object]]:
-    """Machine-readable description of every experiment, in paper order.
+    """Machine-readable description of every experiment, in registry order.
 
     One entry per experiment: its canonical ``name``, the accepted
-    ``aliases``, a one-line ``title`` (the harness module's docstring
-    summary) and whether rendering it ``simulates`` (analytic tables have
-    no simulation plan and render instantly).  This is the payload of the
-    results daemon's ``GET /experiments`` endpoint and is equally usable
-    by scripts that want to enumerate the reproduction surface.
+    ``aliases``, a one-line ``title``, its ``kind`` (``paper`` figure/table
+    or curated ``scenario``) and whether rendering it ``simulates``
+    (analytic tables have no simulation plan and render instantly).  This
+    is the payload of the results daemon's ``GET /experiments`` endpoint
+    and is equally usable by scripts that want to enumerate the
+    reproduction surface.
     """
-    catalog: List[Dict[str, object]] = []
-    for name, function in _EXPERIMENTS.items():
-        module = sys.modules[function.__module__]
-        docstring = (module.__doc__ or "").strip()
-        title = docstring.splitlines()[0].rstrip(".") if docstring else name
-        catalog.append(
-            {
-                "name": name,
-                "aliases": sorted(
-                    alias for alias, target in _ALIASES.items() if target == name
-                ),
-                "title": title,
-                "simulates": getattr(module, "plan", None) is not None,
-            }
-        )
-    return catalog
+    _ensure_scenarios()
+    return [
+        {
+            "name": name,
+            "aliases": sorted(
+                alias for alias, target in _ALIASES.items() if target == name
+            ),
+            "title": _TITLES[name],
+            "kind": _KINDS[name],
+            "simulates": _PLANS[name] is not None,
+        }
+        for name in _EXPERIMENTS
+    ]
 
 
 def canonical_name(name: str) -> str:
     """Resolve an experiment name or alias to its canonical registry name."""
+    _ensure_scenarios()
     key = name.lower()
     canonical = key if key in _EXPERIMENTS else _ALIASES.get(key)
     if canonical is None:
@@ -109,10 +187,9 @@ def get_experiment(name: str) -> ExperimentFunction:
     return _EXPERIMENTS[canonical_name(name)]
 
 
-def plan_function(name: str) -> Optional[Callable[..., List]]:
+def plan_function(name: str) -> Optional[PlanFunction]:
     """The ``plan`` function of an experiment, or None for analytic tables."""
-    function = get_experiment(name)
-    return getattr(sys.modules[function.__module__], "plan", None)
+    return _PLANS[canonical_name(name)]
 
 
 def resolve_plan(
@@ -163,7 +240,11 @@ def run_all(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
 ) -> Dict[str, ExperimentResult]:
-    """Run the full campaign (every table and figure), sharing cached runs."""
+    """Run the paper campaign (every table and figure), sharing cached runs.
+
+    Scenario bundles are excluded: they have their own workloads and are
+    run explicitly (``tdm-repro scenario <name>`` or by experiment name).
+    """
     runner = (
         SimulationRunner(scale=scale, jobs=jobs, cache_dir=cache_dir)
         if share_runner
@@ -171,5 +252,7 @@ def run_all(
     )
     results: Dict[str, ExperimentResult] = {}
     for name in available_experiments():
+        if _KINDS[name] != "paper":
+            continue
         results[name] = run_experiment(name, scale=scale, benchmarks=benchmarks, runner=runner)
     return results

@@ -1,0 +1,52 @@
+"""Scenario subsystem: trace replay + generative DAG workloads + bundles.
+
+Three modules:
+
+* :mod:`~repro.scenarios.trace` — versioned JSON/CSV task-graph import and
+  export, a structural :func:`~repro.scenarios.trace.program_digest`, and
+  the bundled trace-replay workloads;
+* :mod:`~repro.scenarios.generative` — seeded generative DAG families
+  (fan-out, depth, skew, read/write ratio, phases) as real workloads;
+* :mod:`~repro.scenarios.registry` — the curated bundles, each a
+  first-class ``scenario_<name>`` experiment.
+
+``registry`` is deliberately **not** imported here: the experiments
+registry loads it lazily, and an eager import from this package would make
+the two registries import each other.  Everything else is re-exported.
+"""
+
+from .generative import (
+    GENERATIVE_WORKLOADS,
+    GenerativeDAGWorkload,
+    layered_dag_program,
+    register_builtin_workloads,
+)
+from .trace import (
+    BUNDLED_TRACE_WORKLOADS,
+    TRACE_FORMAT_VERSION,
+    TraceReplayWorkload,
+    dump_trace,
+    dumps_trace,
+    export_trace,
+    load_trace,
+    loads_trace,
+    parse_trace,
+    program_digest,
+)
+
+__all__ = [
+    "BUNDLED_TRACE_WORKLOADS",
+    "GENERATIVE_WORKLOADS",
+    "GenerativeDAGWorkload",
+    "TRACE_FORMAT_VERSION",
+    "TraceReplayWorkload",
+    "dump_trace",
+    "dumps_trace",
+    "export_trace",
+    "layered_dag_program",
+    "load_trace",
+    "loads_trace",
+    "parse_trace",
+    "program_digest",
+    "register_builtin_workloads",
+]

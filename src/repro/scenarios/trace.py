@@ -1,0 +1,691 @@
+"""Versioned task-graph trace import/export (JSON and CSV) + replay workloads.
+
+A *trace* is an exported task DAG — for example an instrumented OpenMP/OmpSs
+application dump — that replays through all four runtime models as a regular
+:class:`~repro.runtime.task.TaskProgram`.  The format is deliberately small:
+
+* **tasks** carry a unique integer ``uid``, a duration (``work_us``) and an
+  optional ``name``/``kind``;
+* **dependences** are either data ``accesses`` (address + size + ``in`` /
+  ``out`` / ``inout`` mode, exactly the model's ``depend(...)`` clauses) or
+  explicit ``after`` edges naming predecessor uids.  ``after`` edges are
+  lowered to synthetic token blocks (the predecessor writes a per-task token
+  address, the successor reads it), so control-only DAGs flow through the
+  dependence-tracking hardware models unchanged;
+* **regions** group tasks between barriers (one region = one parallel
+  region); ``after`` edges never cross regions — the barrier already orders
+  them.
+
+Validation is strict and every :class:`~repro.errors.TraceFormatError`
+carries a precise location (``regions[0].tasks[3].accesses[1].mode``,
+``line 7`` for CSV), so a malformed multi-thousand-task export is
+debuggable from the message alone.  Rejected outright: duplicate uids,
+dangling or cross-region ``after`` references, dependence cycles (reported
+with the offending uid path), and addresses inside the reserved token range.
+
+**Declaration order does not matter.**  Tasks are canonicalized into a
+deterministic topological order (Kahn's algorithm over the ``after`` edges,
+ready set ordered by uid) before data-access dependences are derived, so two
+files describing the same graph in different task orders import to programs
+with the identical :func:`program_digest` — and therefore identical
+simulation results and canonical run keys for any workload built on them.
+:mod:`tests.test_trace_properties` pins these laws with hypothesis.
+
+:class:`TraceReplayWorkload` wraps an imported program as a first-class
+:class:`~repro.workloads.base.Workload`, and the bundled fixtures under
+``src/repro/scenarios/traces/`` are registered by name (``trace_diamond``,
+``trace_mapreduce``) so campaign workers rebuild them from the workload
+registry alone — plans, sharding, caching and the results daemon all work.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import json
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import TraceFormatError
+from ..runtime.task import (
+    AccessMode,
+    DependenceSpec,
+    TaskDefinition,
+    TaskProgram,
+    TaskRegion,
+)
+from ..workloads.base import GranularityOption, Workload
+
+#: Bumped whenever the trace schema changes incompatibly; readers refuse
+#: unknown versions instead of misparsing them.
+TRACE_FORMAT_VERSION = 1
+
+#: Base of the reserved address range used to lower explicit ``after`` edges
+#: into synthetic token dependences (one 64-byte token block per task uid).
+#: User data accesses must stay below it; the importer enforces that.
+TOKEN_BASE = 0xFE00_0000_0000
+
+#: Size in bytes of one synthetic token block.
+TOKEN_STRIDE = 64
+
+#: Columns of the CSV flavor of the format, in order.  The three trailing
+#: columns default to 0 when empty; ``sequential_us_before`` is a region
+#: attribute and may only be set on the first row of its region.
+CSV_COLUMNS = (
+    "region",
+    "uid",
+    "name",
+    "kind",
+    "work_us",
+    "accesses",
+    "after",
+    "memory_sensitivity",
+    "creation_work_us",
+    "sequential_us_before",
+)
+
+_MODES = {mode.value: mode for mode in AccessMode}
+
+
+def _fail(location: str, message: str) -> None:
+    raise TraceFormatError(location, message)
+
+
+# --------------------------------------------------------------------- parsing
+def _parse_address(value: object, location: str) -> int:
+    """Accept plain ints and ``0x``-prefixed hex strings."""
+    if isinstance(value, bool):
+        _fail(location, f"address must be an integer or hex string, got {value!r}")
+    if isinstance(value, int):
+        address = value
+    elif isinstance(value, str):
+        try:
+            address = int(value, 16) if value.lower().startswith("0x") else int(value)
+        except ValueError:
+            _fail(location, f"address must be an integer or hex string, got {value!r}")
+    else:
+        _fail(location, f"address must be an integer or hex string, got {value!r}")
+    if address < 0:
+        _fail(location, f"address must be >= 0, got {address}")
+    if address >= TOKEN_BASE:
+        _fail(
+            location,
+            f"address {address:#x} falls in the reserved token range "
+            f"(>= {TOKEN_BASE:#x}) used to lower 'after' edges",
+        )
+    return address
+
+
+def _parse_access(data: object, location: str) -> DependenceSpec:
+    if not isinstance(data, dict):
+        _fail(location, f"access must be an object, got {type(data).__name__}")
+    unknown = sorted(set(data) - {"address", "size", "mode"})
+    if unknown:
+        _fail(location, f"unknown access field(s): {', '.join(unknown)}")
+    for field in ("address", "size", "mode"):
+        if field not in data:
+            _fail(f"{location}.{field}", "missing required field")
+    address = _parse_address(data["address"], f"{location}.address")
+    size = data["size"]
+    if not isinstance(size, int) or isinstance(size, bool) or size <= 0:
+        _fail(f"{location}.size", f"size must be a positive integer, got {size!r}")
+    mode = data["mode"]
+    if mode not in _MODES:
+        _fail(
+            f"{location}.mode",
+            f"mode must be one of {', '.join(sorted(_MODES))}, got {mode!r}",
+        )
+    return DependenceSpec(address, size, _MODES[mode])
+
+
+def _parse_uid(value: object, location: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        _fail(location, f"uid must be a non-negative integer, got {value!r}")
+    return value
+
+
+def _parse_float(value: object, location: str, minimum: float = 0.0) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(location, f"must be a number, got {value!r}")
+    number = float(value)
+    if number < minimum:
+        _fail(location, f"must be >= {minimum}, got {number}")
+    return number
+
+
+_TASK_FIELDS = frozenset(
+    {"uid", "name", "kind", "work_us", "accesses", "after",
+     "memory_sensitivity", "creation_work_us"}
+)
+
+
+class _TraceTask:
+    """One parsed-but-not-yet-ordered task declaration."""
+
+    __slots__ = ("uid", "name", "kind", "work_us", "accesses", "after",
+                 "memory_sensitivity", "creation_work_us", "location")
+
+    def __init__(self, data: Dict[str, object], location: str) -> None:
+        unknown = sorted(set(data) - _TASK_FIELDS)
+        if unknown:
+            _fail(location, f"unknown task field(s): {', '.join(unknown)}")
+        if "uid" not in data:
+            _fail(f"{location}.uid", "missing required field")
+        if "work_us" not in data:
+            _fail(f"{location}.work_us", "missing required field")
+        self.uid = _parse_uid(data["uid"], f"{location}.uid")
+        name = data.get("name", f"task{self.uid}")
+        kind = data.get("kind", "trace")
+        for label, value in (("name", name), ("kind", kind)):
+            if not isinstance(value, str) or not value:
+                _fail(f"{location}.{label}", f"must be a non-empty string, got {value!r}")
+        self.name = name
+        self.kind = kind
+        self.work_us = _parse_float(data["work_us"], f"{location}.work_us")
+        self.memory_sensitivity = _parse_float(
+            data.get("memory_sensitivity", 0.0), f"{location}.memory_sensitivity"
+        )
+        if self.memory_sensitivity > 1.0:
+            _fail(f"{location}.memory_sensitivity", "must be in [0, 1]")
+        self.creation_work_us = _parse_float(
+            data.get("creation_work_us", 0.0), f"{location}.creation_work_us"
+        )
+        accesses = data.get("accesses", [])
+        if not isinstance(accesses, list):
+            _fail(f"{location}.accesses", "must be a list of access objects")
+        self.accesses = tuple(
+            _parse_access(access, f"{location}.accesses[{index}]")
+            for index, access in enumerate(accesses)
+        )
+        after = data.get("after", [])
+        if not isinstance(after, list):
+            _fail(f"{location}.after", "must be a list of predecessor uids")
+        seen: List[int] = []
+        for index, ref in enumerate(after):
+            uid = _parse_uid(ref, f"{location}.after[{index}]")
+            if uid == self.uid:
+                _fail(f"{location}.after[{index}]", f"task {self.uid} depends on itself")
+            if uid in seen:
+                _fail(f"{location}.after[{index}]", f"duplicate 'after' reference to uid {uid}")
+            seen.append(uid)
+        self.after = tuple(seen)
+        self.location = location
+
+
+def _canonical_order(tasks: Sequence[_TraceTask], region_location: str) -> List[_TraceTask]:
+    """Deterministic topological order: Kahn over ``after``, uid tie-break.
+
+    This is what makes imports declaration-order-insensitive — the emitted
+    creation order (which data-access dependence derivation depends on) is a
+    pure function of the graph, not of the file layout.
+    """
+    by_uid = {task.uid: task for task in tasks}
+    pending = {task.uid: len(task.after) for task in tasks}
+    dependents: Dict[int, List[int]] = {task.uid: [] for task in tasks}
+    for task in tasks:
+        for ref in task.after:
+            dependents[ref].append(task.uid)
+    import heapq
+
+    ready = [uid for uid, count in pending.items() if count == 0]
+    heapq.heapify(ready)
+    ordered: List[_TraceTask] = []
+    while ready:
+        uid = heapq.heappop(ready)
+        ordered.append(by_uid[uid])
+        for successor in dependents[uid]:
+            pending[successor] -= 1
+            if pending[successor] == 0:
+                heapq.heappush(ready, successor)
+    if len(ordered) != len(tasks):
+        remaining = {uid for uid, count in pending.items() if count > 0}
+        # Walk predecessor edges inside the remainder until a uid repeats:
+        # that repeat closes a genuine cycle we can show in the message.
+        cursor = min(remaining)
+        path = [cursor]
+        while True:
+            cursor = min(ref for ref in by_uid[cursor].after if ref in remaining)
+            if cursor in path:
+                cycle = path[path.index(cursor):] + [cursor]
+                break
+            path.append(cursor)
+        _fail(
+            region_location,
+            "dependence cycle through 'after' edges: "
+            + " -> ".join(str(uid) for uid in reversed(cycle)),
+        )
+    return ordered
+
+
+def parse_trace(document: Dict[str, object]) -> TaskProgram:
+    """Build a :class:`TaskProgram` from a parsed trace document (dict form).
+
+    The single entry point behind :func:`load_trace` / :func:`loads_trace`;
+    CSV input is first reshaped into the same document structure.
+    """
+    if not isinstance(document, dict):
+        _fail("", f"trace document must be an object, got {type(document).__name__}")
+    unknown = sorted(set(document) - {"version", "name", "metadata", "regions"})
+    if unknown:
+        _fail("", f"unknown top-level field(s): {', '.join(unknown)}")
+    version = document.get("version")
+    if version != TRACE_FORMAT_VERSION:
+        _fail(
+            "version",
+            f"unsupported trace format version {version!r} "
+            f"(this reader supports {TRACE_FORMAT_VERSION})",
+        )
+    name = document.get("name", "trace")
+    if not isinstance(name, str) or not name:
+        _fail("name", f"must be a non-empty string, got {name!r}")
+    metadata = document.get("metadata", {})
+    if not isinstance(metadata, dict):
+        _fail("metadata", "must be an object")
+    regions_data = document.get("regions")
+    if not isinstance(regions_data, list) or not regions_data:
+        _fail("regions", "must be a non-empty list of regions")
+
+    seen_uids: Dict[int, str] = {}
+    regions: List[TaskRegion] = []
+    for region_index, region_data in enumerate(regions_data):
+        location = f"regions[{region_index}]"
+        if not isinstance(region_data, dict):
+            _fail(location, "must be an object")
+        unknown = sorted(set(region_data) - {"name", "sequential_us_before", "tasks"})
+        if unknown:
+            _fail(location, f"unknown region field(s): {', '.join(unknown)}")
+        region_name = region_data.get("name", f"region{region_index}")
+        if not isinstance(region_name, str) or not region_name:
+            _fail(f"{location}.name", "must be a non-empty string")
+        sequential = _parse_float(
+            region_data.get("sequential_us_before", 0.0),
+            f"{location}.sequential_us_before",
+        )
+        tasks_data = region_data.get("tasks")
+        if not isinstance(tasks_data, list) or not tasks_data:
+            _fail(f"{location}.tasks", "must be a non-empty list of tasks")
+        parsed = [
+            _TraceTask(task, f"{location}.tasks[{index}]")
+            if isinstance(task, dict)
+            else _fail(f"{location}.tasks[{index}]", "must be an object")
+            for index, task in enumerate(tasks_data)
+        ]
+        local_uids = set()
+        for task in parsed:
+            if task.uid in seen_uids:
+                _fail(
+                    f"{task.location}.uid",
+                    f"duplicate uid {task.uid} (first declared at {seen_uids[task.uid]})",
+                )
+            seen_uids[task.uid] = task.location
+            local_uids.add(task.uid)
+        for task in parsed:
+            for ref in task.after:
+                if ref not in local_uids:
+                    where = seen_uids.get(ref)
+                    reason = (
+                        f"references uid {ref} declared in another region "
+                        "(the barrier already orders regions; 'after' edges "
+                        "must stay inside one region)"
+                        if where
+                        else f"references unknown uid {ref} (dangling edge)"
+                    )
+                    _fail(f"{task.location}.after", reason)
+        ordered = _canonical_order(parsed, location)
+        definitions = []
+        for task in ordered:
+            dependences = list(task.accesses)
+            for ref in task.after:
+                dependences.append(
+                    DependenceSpec(TOKEN_BASE + ref * TOKEN_STRIDE, TOKEN_STRIDE, AccessMode.IN)
+                )
+            if any(other for other in parsed if task.uid in other.after):
+                dependences.append(
+                    DependenceSpec(
+                        TOKEN_BASE + task.uid * TOKEN_STRIDE, TOKEN_STRIDE, AccessMode.OUT
+                    )
+                )
+            definitions.append(
+                TaskDefinition(
+                    uid=task.uid,
+                    name=task.name,
+                    kind=task.kind,
+                    work_us=task.work_us,
+                    dependences=tuple(dependences),
+                    memory_sensitivity=task.memory_sensitivity,
+                    creation_work_us=task.creation_work_us,
+                )
+            )
+        regions.append(
+            TaskRegion(
+                tasks=tuple(definitions),
+                name=region_name,
+                sequential_us_before=sequential,
+            )
+        )
+    return TaskProgram(name=name, regions=tuple(regions), metadata=dict(metadata))
+
+
+# ----------------------------------------------------------------- CSV flavor
+def _csv_to_document(text: str) -> Dict[str, object]:
+    """Reshape the CSV flavor into the canonical document structure.
+
+    Errors raised here carry 1-based physical line numbers; everything past
+    this reshaping reuses the JSON-path locations of :func:`parse_trace`.
+    """
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        _fail("line 1", "empty CSV trace")
+    header = tuple(cell.strip() for cell in rows[0])
+    if header != CSV_COLUMNS:
+        _fail(
+            "line 1",
+            f"CSV header must be {','.join(CSV_COLUMNS)}, got {','.join(header)}",
+        )
+    region_order: List[str] = []
+    region_tasks: Dict[str, List[Dict[str, object]]] = {}
+    region_sequential: Dict[str, float] = {}
+    for line_number, row in enumerate(rows[1:], start=2):
+        if not row or all(not cell.strip() for cell in row):
+            continue
+        if len(row) != len(CSV_COLUMNS):
+            _fail(f"line {line_number}", f"expected {len(CSV_COLUMNS)} columns, got {len(row)}")
+        (region, uid, name, kind, work_us, accesses, after,
+         sensitivity, creation, sequential) = (cell.strip() for cell in row)
+        if not region:
+            _fail(f"line {line_number}", "empty region name")
+        try:
+            task: Dict[str, object] = {"uid": int(uid), "work_us": float(work_us)}
+        except ValueError:
+            _fail(f"line {line_number}", f"uid/work_us must be numeric, got {uid!r}/{work_us!r}")
+        if name:
+            task["name"] = name
+        if kind:
+            task["kind"] = kind
+        access_list = []
+        for part in filter(None, (p.strip() for p in accesses.split(";"))):
+            pieces = part.split(":")
+            if len(pieces) != 3:
+                _fail(
+                    f"line {line_number}",
+                    f"access {part!r} must be mode:address:size (e.g. out:0x1000:4096)",
+                )
+            mode, address, size = pieces
+            try:
+                size_value = int(size)
+            except ValueError:
+                _fail(f"line {line_number}", f"access size must be an integer, got {size!r}")
+            access_list.append({"mode": mode, "address": address, "size": size_value})
+        if access_list:
+            task["accesses"] = access_list
+        after_list = []
+        for part in filter(None, (p.strip() for p in after.split(";"))):
+            try:
+                after_list.append(int(part))
+            except ValueError:
+                _fail(f"line {line_number}", f"'after' uids must be integers, got {part!r}")
+        if after_list:
+            task["after"] = after_list
+        for label, cell in (("memory_sensitivity", sensitivity), ("creation_work_us", creation)):
+            if cell:
+                try:
+                    task[label] = float(cell)
+                except ValueError:
+                    _fail(f"line {line_number}", f"{label} must be a number, got {cell!r}")
+        if region not in region_tasks:
+            region_order.append(region)
+            region_tasks[region] = []
+            if sequential:
+                try:
+                    region_sequential[region] = float(sequential)
+                except ValueError:
+                    _fail(
+                        f"line {line_number}",
+                        f"sequential_us_before must be a number, got {sequential!r}",
+                    )
+        elif sequential:
+            _fail(
+                f"line {line_number}",
+                "sequential_us_before may only be set on the first row of a region",
+            )
+        region_tasks[region].append(task)
+    if not region_order:
+        _fail("line 2", "CSV trace declares no tasks")
+    regions: List[Dict[str, object]] = []
+    for region in region_order:
+        entry: Dict[str, object] = {"name": region, "tasks": region_tasks[region]}
+        if region in region_sequential:
+            entry["sequential_us_before"] = region_sequential[region]
+        regions.append(entry)
+    return {"version": TRACE_FORMAT_VERSION, "name": "trace", "regions": regions}
+
+
+# ------------------------------------------------------------------- file I/O
+def loads_trace(text: str, format: str = "json") -> TaskProgram:
+    """Import a trace from a string in the given format (``json`` or ``csv``)."""
+    if format == "json":
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            _fail(f"line {error.lineno}", f"not valid JSON: {error.msg}")
+        return parse_trace(document)
+    if format == "csv":
+        return parse_trace(_csv_to_document(text))
+    _fail("", f"unknown trace format {format!r} (expected 'json' or 'csv')")
+
+
+def load_trace(path: Union[str, pathlib.Path]) -> TaskProgram:
+    """Import a trace file; the format follows the ``.json``/``.csv`` suffix."""
+    path = pathlib.Path(path)
+    suffix = path.suffix.lower().lstrip(".")
+    if suffix not in ("json", "csv"):
+        _fail(str(path), f"unknown trace suffix {path.suffix!r} (expected .json or .csv)")
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        _fail(str(path), f"cannot read trace file: {error}")
+    return loads_trace(text, format=suffix)
+
+
+# --------------------------------------------------------------------- export
+def _is_token(spec: DependenceSpec) -> bool:
+    return spec.address >= TOKEN_BASE
+
+
+def export_trace(program: TaskProgram) -> Dict[str, object]:
+    """The document form of a program (inverse of :func:`parse_trace`).
+
+    Token dependences (lowered ``after`` edges) are re-raised into ``after``
+    references; every other dependence is exported as a data access.  JSON-
+    unserializable metadata values are dropped (metadata is advisory and not
+    part of :func:`program_digest`).
+    """
+    metadata = {}
+    for key, value in program.metadata.items():
+        try:
+            json.dumps({key: value})
+        except (TypeError, ValueError):
+            continue
+        metadata[key] = value
+    regions = []
+    for region in program.regions:
+        tasks = []
+        for task in region.tasks:
+            entry: Dict[str, object] = {
+                "uid": task.uid,
+                "name": task.name,
+                "kind": task.kind,
+                "work_us": task.work_us,
+            }
+            accesses = []
+            after = []
+            for spec in task.dependences:
+                if _is_token(spec):
+                    if spec.mode is AccessMode.IN:
+                        after.append((spec.address - TOKEN_BASE) // TOKEN_STRIDE)
+                    continue  # the OUT token side is re-derived on import
+                accesses.append(
+                    {"address": f"{spec.address:#x}", "size": spec.size, "mode": spec.mode.value}
+                )
+            if accesses:
+                entry["accesses"] = accesses
+            if after:
+                entry["after"] = after
+            if task.memory_sensitivity:
+                entry["memory_sensitivity"] = task.memory_sensitivity
+            if task.creation_work_us:
+                entry["creation_work_us"] = task.creation_work_us
+            tasks.append(entry)
+        region_entry: Dict[str, object] = {"name": region.name, "tasks": tasks}
+        if region.sequential_us_before:
+            region_entry["sequential_us_before"] = region.sequential_us_before
+        regions.append(region_entry)
+    return {
+        "version": TRACE_FORMAT_VERSION,
+        "name": program.name,
+        "metadata": metadata,
+        "regions": regions,
+    }
+
+
+def dumps_trace(program: TaskProgram, format: str = "json") -> str:
+    """Serialize a program as trace text in the given format."""
+    document = export_trace(program)
+    if format == "json":
+        return json.dumps(document, indent=2, sort_keys=False) + "\n"
+    if format == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(CSV_COLUMNS)
+        for region in document["regions"]:
+            for position, task in enumerate(region["tasks"]):
+                accesses = ";".join(
+                    f"{a['mode']}:{a['address']}:{a['size']}"
+                    for a in task.get("accesses", [])
+                )
+                after = ";".join(str(uid) for uid in task.get("after", []))
+                sequential = region.get("sequential_us_before", 0.0)
+                writer.writerow(
+                    [
+                        region["name"],
+                        task["uid"],
+                        task.get("name", ""),
+                        task.get("kind", ""),
+                        repr(float(task["work_us"])),
+                        accesses,
+                        after,
+                        repr(float(task["memory_sensitivity"]))
+                        if task.get("memory_sensitivity")
+                        else "",
+                        repr(float(task["creation_work_us"]))
+                        if task.get("creation_work_us")
+                        else "",
+                        repr(float(sequential)) if position == 0 and sequential else "",
+                    ]
+                )
+        return buffer.getvalue()
+    _fail("", f"unknown trace format {format!r} (expected 'json' or 'csv')")
+
+
+def dump_trace(program: TaskProgram, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write a program as a trace file (format from the ``.json``/``.csv`` suffix)."""
+    path = pathlib.Path(path)
+    suffix = path.suffix.lower().lstrip(".")
+    path.write_text(dumps_trace(program, format=suffix), encoding="utf-8")
+    return path
+
+
+# --------------------------------------------------------------------- digest
+def program_digest(program: TaskProgram) -> str:
+    """SHA-256 over the structural identity of a program.
+
+    Covers everything simulation output can depend on — region order,
+    task creation order, uids, kinds, exact float durations (via ``repr``)
+    and every dependence — and nothing advisory (program/region names and
+    metadata, which no runtime model reads).  Two programs with equal
+    digests are indistinguishable to every runtime model.
+    """
+    payload = {
+        "regions": [
+            {
+                "sequential_us_before": repr(region.sequential_us_before),
+                "tasks": [
+                    {
+                        "uid": task.uid,
+                        "name": task.name,
+                        "kind": task.kind,
+                        "work_us": repr(task.work_us),
+                        "memory_sensitivity": repr(task.memory_sensitivity),
+                        "creation_work_us": repr(task.creation_work_us),
+                        "deps": [
+                            [spec.address, spec.size, spec.mode.value]
+                            for spec in task.dependences
+                        ],
+                    }
+                    for task in region.tasks
+                ],
+            }
+            for region in program.regions
+        ],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------- replay workloads
+#: Directory of the bundled trace fixtures (shipped with the package so
+#: campaign pool workers can rebuild them from the workload name alone).
+TRACES_DIR = pathlib.Path(__file__).resolve().parent / "traces"
+
+
+def bundled_trace_path(stem: str) -> pathlib.Path:
+    """Path of one bundled fixture (``diamond`` -> ``traces/diamond.json``)."""
+    return TRACES_DIR / f"{stem}.json"
+
+
+class TraceReplayWorkload(Workload):
+    """Replays one bundled trace fixture as a first-class workload.
+
+    The task graph is fixed by the trace, so ``scale`` and ``granularity``
+    do not reshape it (the base-class knobs exist so the campaign engine's
+    uniform workload interface — and its canonical run keys — apply
+    unchanged); ``seed`` only matters to key identity, never to the program.
+    """
+
+    #: Stem of the bundled fixture under :data:`TRACES_DIR`.
+    trace_stem = "abstract"
+
+    def granularity_options(self) -> Tuple[GranularityOption, ...]:
+        return (GranularityOption(1, "native (fixed by the trace)"),)
+
+    def optimal_granularity(self, runtime: str = "software") -> int:
+        return 1
+
+    def build_program(self) -> TaskProgram:
+        program = load_trace(bundled_trace_path(self.trace_stem))
+        metadata = dict(program.metadata)
+        metadata.setdefault("workload", self.name)
+        metadata.setdefault("trace", self.trace_stem)
+        return TaskProgram(name=program.name, regions=program.regions, metadata=metadata)
+
+
+class DiamondTraceWorkload(TraceReplayWorkload):
+    """Four-task diamond expressed purely through ``after`` edges."""
+
+    name = "trace_diamond"
+    label = "t.dia"
+    trace_stem = "diamond"
+
+
+class MapReduceTraceWorkload(TraceReplayWorkload):
+    """Map/shuffle/reduce pipeline mixing data accesses and ``after`` edges."""
+
+    name = "trace_mapreduce"
+    label = "t.mr"
+    trace_stem = "mapreduce"
+
+
+#: Every bundled replay workload, in registration order.
+BUNDLED_TRACE_WORKLOADS = (DiamondTraceWorkload, MapReduceTraceWorkload)

@@ -118,6 +118,13 @@ def create_workload(
     granularity from Table II (defaulting to the software one).
     """
     key = name.lower()
+    if key not in _REGISTRY and key.startswith(("gen_", "trace_")):
+        # Scenario workloads register lazily so campaign pool workers (fresh
+        # processes that only ever see a workload *name*) can rebuild them
+        # without the parent having imported repro.scenarios first.
+        from ..scenarios.generative import register_builtin_workloads
+
+        register_builtin_workloads()
     try:
         factory = _REGISTRY[key]
     except KeyError as exc:

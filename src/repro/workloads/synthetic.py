@@ -99,6 +99,7 @@ def random_dag_program(
     work_us: float = 50.0,
     seed: int = 0,
     name: Optional[str] = None,
+    rng: Optional[random.Random] = None,
 ) -> TaskProgram:
     """A random (but reproducible) task DAG over a small set of data blocks.
 
@@ -106,10 +107,15 @@ def random_dag_program(
     ``output_probability`` and an input otherwise.  Because dependences are
     derived from data accesses in creation order, the resulting graph is
     always acyclic regardless of the random choices.
+
+    All randomness comes from ``rng`` when given (``seed`` is then only a
+    label in the program name/metadata) or from a private
+    ``random.Random(seed)`` otherwise — never from module-level state, so
+    two processes with the same arguments build identical programs.
     """
     if num_tasks < 1 or num_addresses < 1 or dependences_per_task < 0:
         raise ValueError("invalid random DAG parameters")
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     tasks = []
     for uid in range(num_tasks):
         chosen = rng.sample(range(num_addresses), k=min(dependences_per_task, num_addresses))

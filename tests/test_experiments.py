@@ -61,10 +61,18 @@ class TestCommon:
 
 
 class TestRegistry:
-    def test_eleven_experiments_available(self):
+    def test_eleven_paper_experiments_available(self):
+        from repro.experiments.registry import experiment_catalog
+
+        catalog = experiment_catalog()
+        paper = [entry["name"] for entry in catalog if entry["kind"] == "paper"]
+        assert len(paper) == 11
         names = available_experiments()
-        assert len(names) == 11
         assert "figure_12" in names and "table_03" in names
+        # The scenario bundles register lazily into the same namespace.
+        scenarios = [entry["name"] for entry in catalog if entry["kind"] == "scenario"]
+        assert len(scenarios) == 5
+        assert all(name.startswith("scenario_") for name in scenarios)
 
     def test_aliases(self):
         assert get_experiment("fig12") is get_experiment("figure_12")

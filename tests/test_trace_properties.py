@@ -1,0 +1,276 @@
+"""Property-based and rejection tests for the task-graph trace importer.
+
+Three law families, per the scenario subsystem's reproducibility contract
+(docs/scenarios.md):
+
+* **Round-trip** — ``parse → export → parse`` preserves the structural
+  :func:`~repro.scenarios.trace.program_digest`, in both the JSON and the
+  CSV flavor, for arbitrary valid documents.
+* **Order-insensitivity** — shuffling task declaration order inside a
+  region changes nothing: the canonical (Kahn, uid tie-break) ordering
+  makes the imported program — and therefore every simulation result and
+  canonical run key derived from it — a pure function of the graph.
+* **Rejection** — cyclic, dangling, duplicate-uid and malformed documents
+  fail with :class:`~repro.errors.TraceFormatError` carrying a precise
+  location (JSON path or CSV line number) and an actionable message.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.scenarios.trace import (
+    TOKEN_BASE,
+    TRACE_FORMAT_VERSION,
+    dumps_trace,
+    loads_trace,
+    parse_trace,
+    program_digest,
+)
+
+MODES = ("in", "out", "inout")
+
+
+@st.composite
+def trace_documents(draw):
+    """Arbitrary *valid* trace documents, declaration order shuffled.
+
+    ``after`` edges always point from a later to an earlier position in a
+    hidden topological order, so the graph is acyclic by construction; the
+    emitted declaration order is an independent shuffle of that order.
+    """
+    rng = random.Random(draw(st.integers(min_value=0, max_value=2**32 - 1)))
+    num_regions = draw(st.integers(min_value=1, max_value=2))
+    regions = []
+    next_uid = 0
+    for region_index in range(num_regions):
+        num_tasks = draw(st.integers(min_value=1, max_value=8))
+        uids = list(range(next_uid, next_uid + num_tasks))
+        next_uid += num_tasks
+        rng.shuffle(uids)  # uid values need not follow topological order
+        tasks = []
+        for position, uid in enumerate(uids):
+            task = {
+                "uid": uid,
+                "work_us": draw(
+                    st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+                ),
+            }
+            if draw(st.booleans()):
+                task["name"] = f"t{uid}"
+            accesses = []
+            for _ in range(draw(st.integers(min_value=0, max_value=3))):
+                accesses.append(
+                    {
+                        "address": draw(
+                            st.integers(min_value=0, max_value=TOKEN_BASE - 1)
+                        ),
+                        "size": draw(st.integers(min_value=1, max_value=1 << 20)),
+                        "mode": draw(st.sampled_from(MODES)),
+                    }
+                )
+            if accesses:
+                task["accesses"] = accesses
+            predecessors = uids[:position]
+            if predecessors:
+                count = draw(
+                    st.integers(min_value=0, max_value=min(3, len(predecessors)))
+                )
+                if count:
+                    task["after"] = rng.sample(predecessors, count)
+            tasks.append(task)
+        rng.shuffle(tasks)  # declaration order must not matter
+        region = {"name": f"r{region_index}", "tasks": tasks}
+        if draw(st.booleans()):
+            region["sequential_us_before"] = draw(
+                st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+            )
+        regions.append(region)
+    return {"version": TRACE_FORMAT_VERSION, "name": "prop", "regions": regions}
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(document=trace_documents())
+    def test_json_round_trip_preserves_digest(self, document):
+        program = parse_trace(document)
+        reimported = loads_trace(dumps_trace(program, "json"), "json")
+        assert program_digest(reimported) == program_digest(program)
+
+    @settings(max_examples=60, deadline=None)
+    @given(document=trace_documents())
+    def test_csv_round_trip_preserves_digest(self, document):
+        program = parse_trace(document)
+        reimported = loads_trace(dumps_trace(program, "csv"), "csv")
+        assert program_digest(reimported) == program_digest(program)
+
+    @settings(max_examples=40, deadline=None)
+    @given(document=trace_documents())
+    def test_import_is_idempotent(self, document):
+        """Exporting an imported program and importing again is a fixpoint."""
+        once = parse_trace(document)
+        twice = loads_trace(dumps_trace(once, "json"), "json")
+        assert dumps_trace(twice, "json") == dumps_trace(once, "json")
+
+
+class TestOrderInsensitivity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        document=trace_documents(),
+        shuffle_seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_declaration_order_is_irrelevant(self, document, shuffle_seed):
+        baseline = program_digest(parse_trace(document))
+        rng = random.Random(shuffle_seed)
+        for region in document["regions"]:
+            rng.shuffle(region["tasks"])
+        assert program_digest(parse_trace(document)) == baseline
+
+    def test_canonical_run_key_ignores_declaration_order(self, tmp_path):
+        """Shuffled fixtures leave the campaign run key untouched end to end.
+
+        The canonical run key hashes the workload *parameters* (name, scale,
+        granularity, seed) rather than the built program, so this holds by
+        construction — but the digest laws above are what make it *sound*:
+        equal parameters must imply an equal program.  Pin both halves.
+        """
+        import json
+        import pathlib
+
+        from repro.experiments.campaign import CampaignEngine, RunRequest
+
+        source = pathlib.Path("src/repro/scenarios/traces/mapreduce.json")
+        document = json.loads(source.read_text(encoding="utf-8"))
+        shuffled = json.loads(source.read_text(encoding="utf-8"))
+        shuffled["regions"][0]["tasks"].reverse()
+        assert program_digest(parse_trace(document)) == program_digest(
+            parse_trace(shuffled)
+        )
+        engine = CampaignEngine(scale=0.1)
+        key = engine.resolve(RunRequest("trace_mapreduce", "tdm")).key
+        assert key == CampaignEngine(scale=0.1).resolve(
+            RunRequest("trace_mapreduce", "tdm")
+        ).key
+
+
+def _document(tasks, **region_extra):
+    region = {"name": "r0", "tasks": tasks}
+    region.update(region_extra)
+    return {"version": TRACE_FORMAT_VERSION, "name": "bad", "regions": [region]}
+
+
+class TestRejection:
+    def test_cycle_is_rejected_with_uid_path(self):
+        tasks = [
+            {"uid": 0, "work_us": 1.0, "after": [2]},
+            {"uid": 1, "work_us": 1.0, "after": [0]},
+            {"uid": 2, "work_us": 1.0, "after": [1]},
+        ]
+        with pytest.raises(TraceFormatError) as info:
+            parse_trace(_document(tasks))
+        message = str(info.value)
+        assert "cycle" in message
+        assert "0" in message and "1" in message and "2" in message
+
+    def test_dangling_after_reference(self):
+        tasks = [{"uid": 0, "work_us": 1.0, "after": [7]}]
+        with pytest.raises(TraceFormatError) as info:
+            parse_trace(_document(tasks))
+        assert "regions[0].tasks[0].after" in str(info.value)
+        assert "unknown uid 7" in str(info.value)
+
+    def test_cross_region_after_reference(self):
+        document = {
+            "version": TRACE_FORMAT_VERSION,
+            "name": "bad",
+            "regions": [
+                {"name": "r0", "tasks": [{"uid": 0, "work_us": 1.0}]},
+                {"name": "r1", "tasks": [{"uid": 1, "work_us": 1.0, "after": [0]}]},
+            ],
+        }
+        with pytest.raises(TraceFormatError) as info:
+            parse_trace(document)
+        assert "another region" in str(info.value)
+
+    def test_duplicate_uid_names_first_declaration(self):
+        tasks = [
+            {"uid": 5, "work_us": 1.0},
+            {"uid": 5, "work_us": 2.0},
+        ]
+        with pytest.raises(TraceFormatError) as info:
+            parse_trace(_document(tasks))
+        message = str(info.value)
+        assert "regions[0].tasks[1].uid" in message
+        assert "duplicate uid 5" in message
+        assert "regions[0].tasks[0]" in message
+
+    def test_self_reference_is_rejected(self):
+        tasks = [{"uid": 0, "work_us": 1.0, "after": [0]}]
+        with pytest.raises(TraceFormatError) as info:
+            parse_trace(_document(tasks))
+        assert "depends on itself" in str(info.value)
+
+    def test_bad_access_mode_location(self):
+        tasks = [
+            {
+                "uid": 0,
+                "work_us": 1.0,
+                "accesses": [
+                    {"address": 0x1000, "size": 64, "mode": "in"},
+                    {"address": 0x2000, "size": 64, "mode": "readwrite"},
+                ],
+            }
+        ]
+        with pytest.raises(TraceFormatError) as info:
+            parse_trace(_document(tasks))
+        assert "regions[0].tasks[0].accesses[1].mode" in str(info.value)
+
+    def test_reserved_token_range_is_rejected(self):
+        tasks = [
+            {
+                "uid": 0,
+                "work_us": 1.0,
+                "accesses": [{"address": TOKEN_BASE, "size": 64, "mode": "in"}],
+            }
+        ]
+        with pytest.raises(TraceFormatError) as info:
+            parse_trace(_document(tasks))
+        assert "reserved token range" in str(info.value)
+
+    def test_unsupported_version(self):
+        with pytest.raises(TraceFormatError) as info:
+            parse_trace({"version": 99, "name": "x", "regions": []})
+        assert "version" in str(info.value)
+        assert "99" in str(info.value)
+
+    def test_unknown_field_is_rejected(self):
+        tasks = [{"uid": 0, "work_us": 1.0, "colour": "red"}]
+        with pytest.raises(TraceFormatError) as info:
+            parse_trace(_document(tasks))
+        assert "colour" in str(info.value)
+
+    def test_csv_errors_carry_line_numbers(self):
+        text = (
+            "region,uid,name,kind,work_us,accesses,after,"
+            "memory_sensitivity,creation_work_us,sequential_us_before\n"
+            "r0,0,a,k,10.0,,,,,\n"
+            "r0,nope,b,k,10.0,,,,,\n"
+        )
+        with pytest.raises(TraceFormatError) as info:
+            loads_trace(text, "csv")
+        assert "line 3" in str(info.value)
+
+    def test_csv_bad_header(self):
+        with pytest.raises(TraceFormatError) as info:
+            loads_trace("uid,work_us\n1,2\n", "csv")
+        assert "line 1" in str(info.value)
+
+    def test_invalid_json_carries_line(self):
+        with pytest.raises(TraceFormatError) as info:
+            loads_trace('{"version": 1,\n  "oops"\n}', "json")
+        assert "line" in str(info.value)
