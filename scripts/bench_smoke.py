@@ -15,6 +15,11 @@ binning (``--shard-strategy cost``), as max/mean imbalance ratios.  The
 cost bins' peak must not exceed modulo's — the straggler-avoidance claim,
 quantified on every refresh.
 
+A **fault-hook overhead** record covers the reliability layer's claim that
+instrumentation is free when no fault plan is active: the per-call cost of
+``maybe_fault`` with no plan installed (the state every production run is
+in), next to the cost with a plan installed whose selectors never fire.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_smoke.py --jobs 4
@@ -81,6 +86,34 @@ def shard_balance(scale: float, shards: int) -> dict:
     }
 
 
+def fault_hook_overhead(calls: int = 200_000) -> dict:
+    """Per-call cost of the ``maybe_fault`` instrumentation hook.
+
+    The no-plan figure is the one that matters: every instrumented hot
+    path (cache reads, commits, claims) pays it on every production run.
+    The armed-plan figure uses selectors that never match, isolating the
+    dispatch cost of an installed-but-quiet plan.
+    """
+    from repro.reliability import faults
+
+    def timed(calls: int) -> float:
+        start = time.perf_counter()
+        for _ in range(calls):
+            faults.maybe_fault("sim", "deadbeef", 1)
+        return (time.perf_counter() - start) / calls * 1e9
+
+    faults.install_plan(None)
+    no_plan_ns = timed(calls)
+    faults.install_plan("error@sim:key%3=1")  # deadbeef % 3 == 2: never fires
+    armed_ns = timed(calls)
+    faults.install_plan(None)
+    return {
+        "calls": calls,
+        "no_plan_ns_per_call": round(no_plan_ns, 1),
+        "armed_quiet_plan_ns_per_call": round(armed_ns, 1),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.15)
@@ -111,6 +144,7 @@ def main() -> None:
         if warm["seconds"] > 0
         else None,
         "shard_balance": balance,
+        "fault_hook_overhead": fault_hook_overhead(),
     }
     args.output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(record, indent=2))

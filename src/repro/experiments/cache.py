@@ -29,10 +29,12 @@ import hashlib
 import json
 import os
 import pathlib
+import time
 import warnings
 from typing import Dict, List, Optional, Union
 
 from ..config import SimulationConfig
+from ..reliability.faults import maybe_fault
 from ..sim.machine import SimulationResult
 
 #: Bumped whenever the serialized result layout changes incompatibly; stale
@@ -51,21 +53,51 @@ COST_PROFILE_FILENAME = "cost_profile.json"
 #: ``repro.experiments.shard.ClaimBoard``).
 CLAIMS_DIRNAME = "claims"
 
+#: Subdirectory of a cache directory receiving torn/corrupt entry files
+#: (moved aside verbatim, with a ``.reason`` sidecar).  Not two hex chars,
+#: so the ``??/*.json`` entry enumeration never sees it.
+QUARANTINE_DIRNAME = "quarantine"
 
-def atomic_write(path: pathlib.Path, data: Union[str, bytes]) -> None:
-    """Write ``data`` to ``path`` via tmp+rename, creating parent directories.
+#: Orphaned ``*.tmp.<pid>`` files younger than this survive the sweep —
+#: they may belong to a live writer between tmp-write and rename.
+ORPHAN_TMP_MAX_AGE_S = 300.0
+
+
+def atomic_write(
+    path: pathlib.Path,
+    data: Union[str, bytes],
+    fault_key: Optional[str] = None,
+) -> None:
+    """Write ``data`` to ``path`` via tmp+fsync+rename, creating parents.
 
     The single publication primitive for cache entries, merged shard copies
     and shard manifests: a concurrent reader sees either the old file or the
     complete new one, never a torn write (the tmp name embeds the pid so
-    concurrent writers of one key cannot collide either).
+    concurrent writers of one key cannot collide either).  The tmp file is
+    fsynced before the rename so a machine crash cannot publish a name whose
+    bytes never reached disk.
+
+    ``fault_key`` arms the ``commit`` fault-injection site *between* the tmp
+    write and the rename — a ``crash`` fault there leaves exactly the
+    orphaned ``*.tmp`` file a SIGKILL'd writer would
+    (:meth:`ResultCache.sweep_orphans` reclaims them).
     """
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-    if isinstance(data, bytes):
-        tmp.write_bytes(data)
-    else:
-        tmp.write_text(data, encoding="utf-8")
+    blob = data if isinstance(data, bytes) else data.encode("utf-8")
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if fault_key is not None:
+        fault = maybe_fault("commit", fault_key)
+        if fault is not None and fault.kind == "corrupt":
+            # Publish a torn entry: the first half of the bytes, as if the
+            # writer died mid-write on a filesystem without atomic rename.
+            with open(tmp, "wb") as handle:
+                handle.write(blob[: max(1, len(blob) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
     os.replace(tmp, path)
 
 
@@ -103,6 +135,47 @@ def canonical_run_key(
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def result_checksum(result_dict: Dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON of a serialized result.
+
+    Embedded in every entry document (the ``sha256`` field) and verified on
+    read: a torn, truncated or bit-flipped entry is detected even when it
+    still parses as JSON.  Computed over the ``result`` payload only — the
+    envelope (version, key) is validated structurally — and over the
+    *parsed* canonical form, so the digest survives a JSON round trip.
+    Entries written before the field existed verify as legacy (no digest,
+    structural checks only); the cache format version is unchanged because
+    canonical run keys embed it.
+    """
+    blob = json.dumps(result_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _entry_defect(blob: bytes) -> Optional[str]:
+    """Why a serialized entry document is corrupt, or None when it is sound.
+
+    The merge-time mirror of the :meth:`ResultCache.get` corruption checks.
+    A stale-but-well-formed layout (version mismatch) is *not* a defect —
+    readers gate on the version themselves — only torn/invalid JSON,
+    structural breakage and checksum mismatches count.
+    """
+    try:
+        document = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        return f"invalid JSON: {error}"
+    if not isinstance(document, dict):
+        return "malformed entry: not a JSON object"
+    if document.get("version") != CACHE_FORMAT_VERSION:
+        return None
+    result = document.get("result")
+    if not isinstance(result, dict):
+        return "malformed entry: missing result payload"
+    recorded = document.get("sha256")
+    if recorded is not None and recorded != result_checksum(result):
+        return "checksum mismatch"
+    return None
 
 
 def load_cost_profile(directory: Union[str, pathlib.Path]) -> Dict[str, Dict[str, float]]:
@@ -180,6 +253,11 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Entries moved to ``quarantine/`` after failing to parse or to
+        #: verify their embedded checksum (each is also counted as a miss).
+        self.quarantined = 0
+        #: Orphaned ``*.tmp.*`` files removed by :meth:`sweep_orphans`.
+        self.orphans_swept = 0
         #: LRU mtime refreshes that failed for a reason other than the entry
         #: vanishing (read-only NFS mount, permission change, ...).  Reads
         #: keep working — eviction order just degrades toward write-order for
@@ -202,20 +280,76 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).is_file()
 
+    def quarantine(self, path: pathlib.Path, reason: str) -> None:
+        """Move a corrupt entry file into ``quarantine/`` with a reason note.
+
+        Quarantined files keep their original bytes (forensics: was it a
+        torn write, a bit flip, a stale layout?) and leave the entry
+        namespace — the key becomes a plain miss everywhere, including
+        :meth:`merge_from`, and the ``??/*.json`` enumeration never counts
+        the quarantine directory.  A name collision (the same key corrupted
+        twice) appends a numeric suffix rather than overwriting evidence.
+        """
+        target_dir = self.directory / QUARANTINE_DIRNAME
+        target = target_dir / path.name
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = target_dir / f"{path.name}.{suffix}"
+            os.replace(path, target)
+            target.with_name(target.name + ".reason").write_text(
+                reason + "\n", encoding="utf-8"
+            )
+        except OSError:
+            # Read-only cache, or the file vanished under a concurrent
+            # quarantine: the entry is still treated as a miss either way.
+            return
+        self.quarantined += 1
+
     def get(self, key: str) -> Optional[SimulationResult]:
-        """The cached result for ``key``, or None on miss/corruption."""
+        """The cached result for ``key``, or None on miss/corruption.
+
+        Corrupt entries — unparseable JSON, a structurally malformed
+        document, or a checksum mismatch against the embedded ``sha256``
+        field — are quarantined and counted as misses: the campaign
+        resimulates the point rather than aborting or serving bad data.
+        """
         path = self.path_for(key)
+        fault = maybe_fault("cache-read", key)
+        if fault is not None and fault.kind == "corrupt" and path.is_file():
+            # Chaos hook: tear the on-disk entry in half so this very read
+            # exercises the quarantine path.
+            try:
+                blob = path.read_bytes()
+                path.write_bytes(blob[: max(1, len(blob) // 2)])
+            except OSError:
+                pass
         try:
             with path.open("r", encoding="utf-8") as handle:
                 document = json.load(handle)
+        except OSError:
+            self.misses += 1
+            return None
+        except json.JSONDecodeError as error:
+            self.misses += 1
+            self.quarantine(path, f"invalid JSON: {error}")
+            return None
+        try:
             if document.get("version") != CACHE_FORMAT_VERSION:
                 self.misses += 1
                 return None
+            recorded = document.get("sha256")
+            if recorded is not None and recorded != result_checksum(document["result"]):
+                self.misses += 1
+                self.quarantine(path, "checksum mismatch")
+                return None
             result = SimulationResult.from_dict(document["result"])
-        except (OSError, json.JSONDecodeError, AttributeError, KeyError, TypeError, ValueError):
-            # Unreadable, truncated, or structurally malformed entries are
-            # misses: the campaign resimulates the point rather than aborting.
+        except (AttributeError, KeyError, TypeError, ValueError) as error:
+            # Structurally malformed (parses as JSON but is not an entry).
             self.misses += 1
+            self.quarantine(path, f"malformed entry: {type(error).__name__}: {error}")
             return None
         self.hits += 1
         try:
@@ -247,11 +381,43 @@ class ResultCache:
         return self.put_serialized(key, result.to_dict())
 
     def put_serialized(self, key: str, result_dict: Dict[str, object]) -> pathlib.Path:
-        """Persist an already-serialized result (the parallel-merge path)."""
+        """Persist an already-serialized result (the parallel-merge path).
+
+        The document embeds a ``sha256`` integrity checksum of the result
+        payload (verified by :meth:`get` and :meth:`merge_from`); entries
+        written before the field existed remain readable.
+        """
         path = self.path_for(key)
-        document = {"version": CACHE_FORMAT_VERSION, "key": key, "result": result_dict}
-        atomic_write(path, json.dumps(document, sort_keys=True))
+        document = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "result": result_dict,
+            "sha256": result_checksum(result_dict),
+        }
+        atomic_write(path, json.dumps(document, sort_keys=True), fault_key=key)
         return path
+
+    def sweep_orphans(self, max_age_s: float = ORPHAN_TMP_MAX_AGE_S) -> int:
+        """Delete orphaned ``*.tmp.<pid>`` files left by killed writers.
+
+        A writer SIGKILL'd between tmp-write and rename leaks its tmp file
+        forever (the pid embedded in the name may even be reused, so the
+        name is not self-cleaning).  Files younger than ``max_age_s`` are
+        kept — they may belong to a live writer mid-publication.  Invoked
+        by :meth:`prune` and by shard merges; returns deletions.
+        """
+        swept = 0
+        cutoff = time.time() - max_age_s
+        for tmp in self.directory.glob("??/*.json.tmp.*"):
+            try:
+                if tmp.stat().st_mtime > cutoff:
+                    continue
+                tmp.unlink()
+            except OSError:  # vanished (its writer finished the rename)
+                continue
+            swept += 1
+        self.orphans_swept += swept
+        return swept
 
     def __len__(self) -> int:
         return sum(1 for _ in self._entries())
@@ -275,6 +441,12 @@ class ResultCache:
         scratch that must never leak into a merge destination, and cost
         profiles are unioned separately (with their own merge semantics) by
         ``merge_shards``.
+
+        Every copied entry is validated first (JSON shape + embedded
+        checksum, exactly the :meth:`get` criteria): a torn or corrupt
+        source entry is quarantined *in the source* and skipped, so the
+        merged cache never inherits corruption — the key simply stays
+        missing and the completeness check names it for resimulation.
         """
         copied = 0
         for entry in sorted(source._entries()):
@@ -284,6 +456,10 @@ class ResultCache:
             try:
                 blob = entry.read_bytes()
             except OSError:  # vanished mid-merge (concurrent prune)
+                continue
+            reason = _entry_defect(blob)
+            if reason is not None:
+                source.quarantine(entry, reason)
                 continue
             atomic_write(destination, blob)
             copied += 1
@@ -313,6 +489,7 @@ class ResultCache:
         """
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.sweep_orphans()
         entries = []
         total = 0
         for path in self._entries():

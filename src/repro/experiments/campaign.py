@@ -33,9 +33,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import DMUConfig, SimulationConfig, default_paper_config
 from ..errors import ExperimentError
+from ..reliability.faults import active_spec, ensure_plan, maybe_fault
+from ..reliability.retry import RetryPolicy
+from ..reliability.watchdog import Watchdog, WatchdogConfig, write_heartbeat
+from ..runtime.cost_model import CampaignCostModel
 from ..sim.machine import SimulationResult, run_simulation
 from ..workloads.registry import create_workload
-from .cache import ResultCache, canonical_run_key
+from .cache import ResultCache, canonical_run_key, load_cost_profile
 
 #: Runtimes whose optimal-granularity default follows the TDM optimum.
 _TDM_GRANULARITY_RUNTIMES = ("tdm", "task_superscalar")
@@ -55,15 +59,21 @@ class CampaignRunError(ExperimentError):
     """
 
     def __init__(self, key: str, params: Dict[str, object], error_type: str,
-                 error_message: str, worker_traceback: str = "") -> None:
+                 error_message: str, worker_traceback: str = "",
+                 attempts: Optional[List[Dict[str, object]]] = None) -> None:
         self.key = key
         self.params = dict(params)
         self.error_type = error_type
         self.error_message = error_message
         self.worker_traceback = worker_traceback
+        #: Per-attempt failure records (``{"attempt", "error_type",
+        #: "error_message"}``) when the retry policy exhausted its budget on
+        #: this key; the last entry matches the headline error.
+        self.attempts = list(attempts or [])
         described = ", ".join(f"{name}={value!r}" for name, value in self.params.items())
+        suffix = f" after {len(self.attempts)} attempts" if len(self.attempts) > 1 else ""
         super().__init__(
-            f"simulation {key[:12]}… failed ({described}): "
+            f"simulation {key[:12]}… failed{suffix} ({described}): "
             f"{error_type}: {error_message}"
         )
 
@@ -75,6 +85,7 @@ class CampaignRunError(ExperimentError):
             "error_type": self.error_type,
             "error_message": self.error_message,
             "traceback": self.worker_traceback,
+            "attempts": [dict(entry) for entry in self.attempts],
         }
 
 
@@ -130,6 +141,16 @@ def _simulate_entry(payload: Dict[str, object]) -> Tuple[str, Dict[str, object],
     """
     started = time.perf_counter()
     try:
+        attempt = int(payload.get("attempt", 1))
+        spec = payload.get("faults")
+        if spec:
+            # Forwarded fault plan (spawn workers have no parent env/state;
+            # fork workers keep the inherited plan's counters).
+            ensure_plan(spec)
+        heartbeat_dir = payload.get("heartbeat_dir")
+        if heartbeat_dir:
+            write_heartbeat(heartbeat_dir, payload["key"], attempt)
+        maybe_fault("sim", payload["key"], attempt)
         config = SimulationConfig.from_dict(payload["config"])
         workload = create_workload(
             payload["benchmark"],
@@ -188,6 +209,8 @@ class CampaignEngine:
         backend: Optional[str] = None,
         disk_cache: Optional[ResultCache] = None,
         program_cache: Optional[Dict[tuple, object]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        watchdog_config: Optional[WatchdogConfig] = None,
     ) -> None:
         if not (0.0 < scale <= 1.0):
             raise ExperimentError(f"scale must be in (0, 1], got {scale}")
@@ -232,10 +255,21 @@ class CampaignEngine:
         self._program_cache: Dict[tuple, object] = (
             program_cache if program_cache is not None else {}
         )
+        #: Retry policy for transiently failed runs (crashed/hung workers,
+        #: injected faults); permanent simulation errors never retry.
+        self.retry_policy = retry_policy or RetryPolicy.from_env()
+        #: Deadline shaping for the pool watchdog (hung-worker detection).
+        self.watchdog_config = watchdog_config or WatchdogConfig.from_env()
         self.simulations_run = 0
         self.memory_hits = 0
         self.disk_hits = 0
         self.cache_evictions = 0
+        #: Keys resubmitted after a transient failure (retry attempts beyond
+        #: the first; bounded by ``retry_policy.max_attempts`` per key).
+        self.retries = 0
+        #: Keys the watchdog struck for exceeding their deadline (hung or
+        #: crashed workers — both present as an overdue heartbeat).
+        self.watchdog_kills = 0
         #: Observed wall seconds of every simulation this engine (or its
         #: pool workers) actually ran, by canonical key.  Cache hits record
         #: nothing — the map is the raw material of the campaign cost model
@@ -393,7 +427,7 @@ class CampaignEngine:
         cached = self._lookup(resolved)
         if cached is not None:
             return cached
-        result = self._simulate(resolved)
+        result = self._simulate_retrying(resolved, [])
         self._store(resolved, result)
         return result
 
@@ -415,6 +449,14 @@ class CampaignEngine:
         — keyed by canonical run key — and returns ``None`` in the failed
         requests' slots; successful batchmates still commit.  Shard workers
         use that mode to turn crashes into manifest entries.
+
+        **Resilience.**  Transient failures — crashed pool workers, hung
+        simulations struck by the watchdog, injected faults — are requeued
+        with exponential backoff up to ``retry_policy.max_attempts`` per
+        key; deterministic simulation errors fail immediately.  Because
+        results are pure functions of their canonical key and are committed
+        in key-sorted order, a recovered batch leaves memo and disk state
+        byte-identical to an undisturbed serial run.
         """
         resolved = [self.resolve(request) for request in requests]
         pending: Dict[str, ResolvedRun] = {}
@@ -424,27 +466,12 @@ class CampaignEngine:
         ordered = sorted(pending.values(), key=lambda item: item.key)
         errors: Dict[str, CampaignRunError] = {}
         if len(ordered) > 1 and self.jobs > 1:
-            payloads = [self._payload(item) for item in ordered]
-            if self.verbose:  # pragma: no cover - console feedback only
-                print(f"[campaign] {len(payloads)} runs on {self.jobs} workers")
-            with multiprocessing.Pool(processes=min(self.jobs, len(payloads))) as pool:
-                outcomes = pool.map(_simulate_entry, payloads)
-            for key, result_dict, seconds in sorted(outcomes, key=lambda item: item[0]):
-                marker = result_dict.get(_ERROR_MARKER)
-                if marker is not None:
-                    errors[key] = CampaignRunError(
-                        key,
-                        marker["params"],
-                        marker["error_type"],
-                        marker["error_message"],
-                        marker["traceback"],
-                    )
-                    continue
-                self.commit_serialized(key, result_dict, seconds)
+            self._run_pool(ordered, errors)
         else:
             for item in ordered:
+                history: List[Dict[str, object]] = []
                 try:
-                    result = self._simulate(item)
+                    result = self._simulate_retrying(item, history)
                 except Exception as error:  # noqa: BLE001 - wrapped with context
                     errors[item.key] = CampaignRunError(
                         item.key,
@@ -452,6 +479,7 @@ class CampaignEngine:
                         type(error).__name__,
                         str(error),
                         traceback.format_exc(),
+                        attempts=history,
                     )
                     continue
                 self._store(item, result)
@@ -463,6 +491,182 @@ class CampaignEngine:
             failures.update(errors)
         return [self._memo.get(item.key) for item in resolved]
 
+    def _simulate_retrying(self, item: ResolvedRun,
+                           history: List[Dict[str, object]]) -> SimulationResult:
+        """Serial-path simulation with transient-error retries.
+
+        Appends one record per failed attempt to ``history`` and re-raises
+        the last error once the attempt budget is spent (or immediately for
+        permanent errors) — the caller wraps it with run context.
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._simulate(item, attempt=attempt)
+            except Exception as error:  # noqa: BLE001 - classified below
+                history.append({
+                    "attempt": attempt,
+                    "error_type": type(error).__name__,
+                    "error_message": str(error),
+                })
+                if not policy.transient(type(error).__name__) or policy.exhausted(attempt):
+                    raise
+                self.retries += 1
+                time.sleep(policy.delay(attempt, item.key))
+
+    def _run_pool(self, ordered: Sequence[ResolvedRun],
+                  errors: Dict[str, CampaignRunError]) -> None:
+        """Fan a batch over a worker pool with watchdog + retry recovery.
+
+        Round-based: every pending key is submitted to a pool, completions
+        are collected as they land, and a round ends when either everything
+        finished or the watchdog finds overdue keys — the pool (and any hung
+        or orphaned task in it) is then terminated and surviving keys are
+        resubmitted.  Keys struck by the watchdog or failed transiently
+        accrue attempts; the rest requeue without penalty.  All commits
+        happen in key-sorted order after the loop, so completion order (and
+        recovery) cannot affect the merged state.
+        """
+        policy = self.retry_policy
+        spec = active_spec()
+        cost_model = CampaignCostModel(
+            load_cost_profile(self.disk_cache.directory) if self.disk_cache else {},
+            scale=self.scale,
+        )
+        watchdog = Watchdog(self.watchdog_config, cost_model)
+        pending: Dict[str, ResolvedRun] = {item.key: item for item in ordered}
+        attempts: Dict[str, int] = {}
+        history: Dict[str, List[Dict[str, object]]] = {}
+        outcomes: Dict[str, Tuple[Dict[str, object], float]] = {}
+        if self.verbose:  # pragma: no cover - console feedback only
+            print(f"[campaign] {len(pending)} runs on {self.jobs} workers")
+
+        def strike(key: str, error_type: str, message: str) -> None:
+            attempts[key] = attempts.get(key, 0) + 1
+            history.setdefault(key, []).append({
+                "attempt": attempts[key],
+                "error_type": error_type,
+                "error_message": message,
+            })
+            if policy.exhausted(attempts[key]):
+                item = pending.pop(key)
+                errors[key] = CampaignRunError(
+                    key,
+                    _run_params(self._payload(item)),
+                    error_type,
+                    message,
+                    attempts=history[key],
+                )
+            else:
+                self.retries += 1
+
+        try:
+            while pending:
+                batch = [pending[key] for key in sorted(pending)]
+                backoff = max(
+                    (policy.delay(attempts[item.key], item.key)
+                     for item in batch if attempts.get(item.key)),
+                    default=0.0,
+                )
+                if backoff:
+                    time.sleep(backoff)
+                watchdog.reset()
+                deadlines = {item.key: watchdog.deadline_for(item) for item in batch}
+                with multiprocessing.Pool(processes=min(self.jobs, len(batch))) as pool:
+                    handles = {}
+                    for item in batch:
+                        payload = self._payload(item)
+                        payload["attempt"] = attempts.get(item.key, 0) + 1
+                        payload["heartbeat_dir"] = str(watchdog.directory)
+                        if spec:
+                            payload["faults"] = spec
+                        handles[item.key] = pool.apply_async(_simulate_entry, (payload,))
+                    self._collect(
+                        handles, deadlines, watchdog, pending, outcomes, errors, strike
+                    )
+                    # Exiting the with-block terminates the pool, killing any
+                    # hung worker and discarding tasks orphaned by a crash.
+        finally:
+            watchdog.cleanup()
+        for key in sorted(outcomes):
+            result_dict, seconds = outcomes[key]
+            self.commit_serialized(key, result_dict, seconds)
+
+    def _collect(self, handles, deadlines, watchdog, pending, outcomes,
+                 errors, strike) -> None:
+        """One round's completion loop: drain results until done or overdue.
+
+        Successful keys leave ``pending`` and land in ``outcomes``;
+        transient worker errors strike (requeue or exhaust); permanent ones
+        fail directly — a deterministic simulation error recurs on every
+        attempt, so its first failure is definitive.  Returning with
+        ``handles`` non-empty means the watchdog condemned this round — the
+        caller terminates the pool and requeues un-struck survivors.
+        """
+        poll = watchdog.config.poll_interval_s
+        stall_budget = watchdog.config.min_seconds + max(deadlines.values(), default=0.0)
+        last_progress = time.monotonic()
+        while handles:
+            progressed = False
+            for key in sorted(handles):
+                handle = handles[key]
+                if not handle.ready():
+                    continue
+                progressed = True
+                del handles[key]
+                try:
+                    _, result_dict, seconds = handle.get()
+                except Exception as error:  # noqa: BLE001 - pool plumbing failure
+                    strike(key, type(error).__name__, str(error))
+                    continue
+                marker = result_dict.get(_ERROR_MARKER)
+                if marker is not None:
+                    if self.retry_policy.transient(marker["error_type"]):
+                        strike(key, marker["error_type"], marker["error_message"])
+                    else:
+                        # Permanent: one deterministic failure is definitive.
+                        pending.pop(key, None)
+                        errors[key] = CampaignRunError(
+                            key,
+                            marker["params"],
+                            marker["error_type"],
+                            marker["error_message"],
+                            marker["traceback"],
+                        )
+                    continue
+                pending.pop(key, None)
+                outcomes[key] = (result_dict, seconds)
+            if progressed:
+                last_progress = time.monotonic()
+            if not handles:
+                return
+            overdue = watchdog.overdue(
+                {key: deadlines[key] for key in handles}
+            )
+            if overdue:
+                self.watchdog_kills += len(overdue)
+                for key in sorted(overdue):
+                    del handles[key]
+                    strike(
+                        key,
+                        "WorkerTimeout",
+                        f"no result after {overdue[key]:.1f}s "
+                        f"(deadline {deadlines[key]:.1f}s); pool terminated",
+                    )
+                return  # terminate the pool; un-struck keys requeue freely
+            if time.monotonic() - last_progress > stall_budget:
+                # No completion and no overdue heartbeat for a whole budget:
+                # workers died before heartbeating (or the pool wedged).
+                self.watchdog_kills += len(handles)
+                for key in sorted(handles):
+                    del handles[key]
+                    strike(key, "WorkerStall",
+                           f"no worker progress for {stall_budget:.1f}s; pool terminated")
+                return
+            time.sleep(poll)
+
     def prune_disk_cache(self) -> int:
         """Enforce ``cache_max_bytes`` on the disk cache; returns evictions."""
         if self.disk_cache is None or self.cache_max_bytes is None:
@@ -471,8 +675,14 @@ class CampaignEngine:
         self.cache_evictions += evicted
         return evicted
 
-    def _simulate(self, resolved: ResolvedRun) -> SimulationResult:
-        """Run one simulation in-process."""
+    def _simulate(self, resolved: ResolvedRun, attempt: int = 1) -> SimulationResult:
+        """Run one simulation in-process.
+
+        The ``sim`` fault site fires here too, so serial campaigns exercise
+        ``error``/``hang`` faults (a ``crash`` fault in serial mode exits
+        the campaign process itself — use ``jobs > 1`` for crash chaos).
+        """
+        maybe_fault("sim", resolved.key, attempt)
         request = resolved.request
         program = self._build_program(
             request.benchmark, request.granularity, resolved.workload_runtime
@@ -500,4 +710,18 @@ class CampaignEngine:
             "disk_hits": self.disk_hits,
             "memoized": len(self._memo),
             "cache_evictions": self.cache_evictions,
+        }
+
+    def reliability_info(self) -> Dict[str, int]:
+        """Recovery counters: retries, watchdog strikes, cache quarantines.
+
+        All zero on a fault-free run; the CLI prints them (and the CI chaos
+        smoke greps them) whenever any is nonzero.
+        """
+        cache = self.disk_cache
+        return {
+            "retries": self.retries,
+            "watchdog_kills": self.watchdog_kills,
+            "quarantined": cache.quarantined if cache is not None else 0,
+            "orphans_swept": cache.orphans_swept if cache is not None else 0,
         }

@@ -228,6 +228,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve mode: size of the daemon's simulation process pool",
     )
     parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve mode: per-render deadline; a render that cannot finish in "
+        "time answers 503 + Retry-After while its simulations keep running "
+        "and land in the cache (default: unbounded)",
+    )
+    parser.add_argument(
+        "--queue-budget",
+        type=int,
+        default=32,
+        help="serve mode: maximum simulations queued beyond the worker pool "
+        "before new renders are refused with 503 (default: 32)",
+    )
+    parser.add_argument(
+        "--failure-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve mode: how long a key's deterministic simulation failure "
+        "is answered from the negative cache before a fresh attempt "
+        "(default: 30)",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="inject deterministic faults for resilience testing: comma-"
+        "separated kind@site[:selector][xT] terms, e.g. "
+        "'crash@sim:key%%7,hang@cache-read:2,corrupt@commit:1' "
+        "(kinds crash/hang/error/corrupt; also via REPRO_FAULTS; "
+        "see docs/reliability.md)",
+    )
+    parser.add_argument(
         "--export-trace",
         type=pathlib.Path,
         default=None,
@@ -269,6 +304,17 @@ def _trace_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_reliability(runner: SimulationRunner) -> None:
+    """One-line recovery summary (retries/watchdog/quarantine), only when
+    something actually went wrong and was absorbed — the common, healthy run
+    prints nothing."""
+    info = runner.reliability_info()
+    if any(info.values()):
+        print("[reliability] " + " ".join(
+            f"{key}={value}" for key, value in sorted(info.items())
+        ))
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -277,6 +323,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in available_experiments():
             print(name)
         return 0
+    if args.faults is not None:
+        from ..reliability import faults as fault_injection
+
+        try:
+            fault_injection.install_plan(args.faults)
+        except ExperimentError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.experiment is None:
         parser.error("an experiment name (or 'all') is required unless --list is given")
     command = args.experiment.lower()
@@ -295,12 +349,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("serve has no --output; responses go to HTTP clients")
         from ..service.server import serve as run_service
 
+        service_kwargs = {}
+        if args.failure_ttl is not None:
+            service_kwargs["failure_ttl_s"] = args.failure_ttl
         return run_service(
             host=args.host,
             port=args.port,
             cache_dir=args.cache_dir,
             workers=args.service_workers,
             verbose=args.verbose,
+            request_timeout_s=args.request_timeout,
+            queue_budget=args.queue_budget,
+            **service_kwargs,
         )
 
     if command == "scenario":
@@ -390,6 +450,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         exit_code = manifest.report()
         runner.prune_cache()
+        _report_reliability(runner)
         return exit_code
 
     if args.merge_shards is not None:
@@ -421,6 +482,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     evicted = runner.prune_cache()
     if evicted:
         print(f"cache budget: evicted {evicted} oldest entries")
+    _report_reliability(runner)
     return exit_code
 
 

@@ -182,6 +182,10 @@ class SimulationRunner:
         """Hit/miss/simulation counters of the underlying engine."""
         return self.engine.cache_info()
 
+    def reliability_info(self) -> Dict[str, int]:
+        """Recovery counters (retries/watchdog/quarantine) of the engine."""
+        return self.engine.reliability_info()
+
     def prune_cache(self) -> int:
         """Enforce the engine's disk-cache size budget; returns evictions."""
         return self.engine.prune_disk_cache()

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple, Union
 
 from ..errors import ExperimentError
+from ..reliability.faults import maybe_fault
 from ..runtime.cost_model import CampaignCostModel
 from .cache import (
     CACHE_FORMAT_VERSION,
@@ -335,6 +336,7 @@ class ClaimBoard:
         stale scratch (the work it guarded is durably done): it is ignored
         — released and re-claimed — rather than treated as a loss.
         """
+        maybe_fault("claim", key)
         try:
             descriptor = os.open(
                 self.path_for(key), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
@@ -695,6 +697,10 @@ class MergeReport:
     manifests: List[ShardManifest]
     failures: Dict[str, Dict[str, object]]
     missing_shards: List[int]
+    #: Corrupt source entries moved to their shard's ``quarantine/`` during
+    #: the merge (each leaves its key missing — and thus reported — unless a
+    #: healthy copy existed in another shard).
+    quarantined: int = 0
 
     @property
     def complete(self) -> bool:
@@ -733,11 +739,14 @@ class MergeReport:
 
     def summary(self) -> str:
         failed = len(self.failures)
-        return (
+        line = (
             f"[merge] {self.experiment}: {self.entries_copied} entries copied, "
             f"{self.planned_keys - len(self.missing_keys)}/{self.planned_keys} planned keys "
             f"present, {len(self.manifests)} manifests, {failed} recorded failures"
         )
+        if self.quarantined:
+            line += f", quarantined={self.quarantined} corrupt entries"
+        return line
 
 
 def merge_shards(
@@ -762,14 +771,19 @@ def merge_shards(
     engine = runner.engine
     if engine.disk_cache is None:
         raise ExperimentError("merging shards requires --cache-dir (the merge destination)")
+    maybe_fault("merge", key=experiment)
     destination = engine.disk_cache
     dest_root = destination.directory.resolve()
+    destination.sweep_orphans()
     copied = 0
+    quarantined = 0
     manifests: List[ShardManifest] = []
     for source in sources:
         source_path = pathlib.Path(source)
         if source_path.resolve() != dest_root:
-            copied += destination.merge_from(ResultCache(source_path))
+            source_cache = ResultCache(source_path)
+            copied += destination.merge_from(source_cache)
+            quarantined += source_cache.quarantined
         for manifest_file in find_manifests(source_path, experiment):
             try:
                 manifests.append(ShardManifest.read(manifest_file))
@@ -813,4 +827,5 @@ def merge_shards(
         manifests=manifests,
         failures=failures,
         missing_shards=missing_shards,
+        quarantined=quarantined,
     )

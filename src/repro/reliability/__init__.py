@@ -1,0 +1,33 @@
+"""Fault injection, retry policies and worker watchdogs for campaigns.
+
+The campaign stack (``repro.experiments``) and the results daemon
+(``repro.service``) survive worker crashes, hung simulations and corrupted
+cache entries through three cooperating pieces that live here:
+
+* :mod:`repro.reliability.faults` — a seeded, deterministic fault-injection
+  plan (``REPRO_FAULTS`` / ``--faults``) with named sites threaded through
+  the cache, the campaign engine, the shard merger and the daemon;
+* :mod:`repro.reliability.retry` — bounded-attempt retry with exponential
+  backoff and transient-vs-permanent error classification;
+* :mod:`repro.reliability.watchdog` — heartbeat files plus cost-model
+  deadlines, so a hung pool worker is killed and its key requeued.
+
+Every recovery path preserves the determinism contract: recovered campaign
+output is byte-identical to a fault-free serial run (``docs/reliability.md``
+and ``docs/determinism.md``).
+"""
+
+from .faults import (  # noqa: F401
+    FAULT_KINDS,
+    FAULT_SITES,
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    active_plan,
+    active_spec,
+    install_plan,
+    maybe_fault,
+    parse_faults,
+)
+from .retry import RetryPolicy  # noqa: F401
+from .watchdog import Watchdog, WatchdogConfig, write_heartbeat  # noqa: F401

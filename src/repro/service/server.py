@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, TextIO, Tuple, Union
 import json
 
 from ..errors import ExperimentError
+from ..reliability.faults import maybe_fault
 from ..experiments.cache import ResultCache
 from ..experiments.campaign import (
     _ERROR_MARKER,
@@ -75,15 +76,21 @@ _REASONS = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
+
+#: Cap on request header lines; real clients send a handful.
+MAX_HEADER_LINES = 100
 
 
 class _HttpError(Exception):
     """An error with a definite HTTP status, rendered as a JSON body."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None) -> None:
         super().__init__(message)
         self.status = status
+        self.headers = dict(headers or {})
 
 
 class ResultsService:
@@ -93,19 +100,42 @@ class ResultsService:
     #: (its results stay in the shared disk cache — only the memo goes).
     ENGINE_LIMIT = 8
 
+    #: How long a poison key's failure is served from cache before a fresh
+    #: simulation attempt is allowed (negative-TTL caching).
+    DEFAULT_FAILURE_TTL_S = 30.0
+
+    #: Seconds the graceful shutdown waits for in-flight requests.
+    DRAIN_TIMEOUT_S = 30.0
+
     def __init__(
         self,
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         workers: int = 2,
         verbose: bool = False,
         log: TextIO = sys.stdout,
+        request_timeout_s: Optional[float] = None,
+        queue_budget: int = 32,
+        failure_ttl_s: float = DEFAULT_FAILURE_TTL_S,
     ) -> None:
         if workers < 1:
             raise ExperimentError(f"workers must be >= 1, got {workers}")
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            request_timeout_s = None
+        if queue_budget < 0:
+            raise ExperimentError(f"queue_budget must be >= 0, got {queue_budget}")
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.workers = workers
         self.verbose = verbose
         self._log_stream = log
+        #: Per-request render deadline (None = unbounded): a render that
+        #: cannot finish in time answers 503 + Retry-After while its
+        #: simulations keep running in the pool and land in the cache, so
+        #: the client's retry is a warm hit.
+        self.request_timeout_s = request_timeout_s
+        #: Maximum simulations *queued behind* the pool (in-flight beyond
+        #: ``workers``) before new renders are refused with 503.
+        self.queue_budget = queue_budget
+        self.failure_ttl_s = failure_ttl_s
         #: Built task programs shared by every engine (keys embed scale/seed).
         self.programs: Dict[tuple, object] = {}
         self.engines: Dict[tuple, CampaignEngine] = {}
@@ -116,6 +146,20 @@ class ResultsService:
         #: Serializes render sections per engine (simulations stay parallel:
         #: the lock is only held around memo lookups and row assembly).
         self._render_locks: Dict[tuple, asyncio.Lock] = {}
+        #: Negative-TTL failure cache: key -> (monotonic expiry, message).
+        #: A poison key (deterministic simulation failure) answers from here
+        #: until the TTL lapses instead of re-simulating in a hot loop.
+        self._failures: Dict[str, Tuple[float, str]] = {}
+        self.failure_cache_hits = 0
+        #: Simulations currently submitted to the executor.
+        self.inflight_sims = 0
+        #: Renders refused because the simulation queue exceeded budget.
+        self.rejected_busy = 0
+        #: Renders that hit their per-request deadline.
+        self.deadline_expired = 0
+        #: Open HTTP connections being handled (drained on shutdown).
+        self._active_requests = 0
+        self.draining = False
 
     # ------------------------------------------------------------------ plumbing
     def log(self, message: str) -> None:
@@ -152,24 +196,36 @@ class ResultsService:
         shared disk cache once the flight lands.
         """
 
+        self._check_failure_cache(resolved.key)
+
         async def flight() -> None:
             if engine.cached(resolved) is not None:
                 # A previous flight for this key landed between our caller's
                 # cache probe and takeoff — nothing left to simulate.
                 return
             loop = asyncio.get_running_loop()
-            key, result_dict, seconds = await loop.run_in_executor(
-                self.executor, _simulate_entry, engine.payload_for(resolved)
-            )
+            self.inflight_sims += 1
+            try:
+                key, result_dict, seconds = await loop.run_in_executor(
+                    self.executor, _simulate_entry, engine.payload_for(resolved)
+                )
+            finally:
+                self.inflight_sims -= 1
             marker = result_dict.get(_ERROR_MARKER)
             if marker is not None:
-                raise CampaignRunError(
+                error = CampaignRunError(
                     key,
                     marker["params"],
                     marker["error_type"],
                     marker["error_message"],
                     marker["traceback"],
                 )
+                # Negative-TTL cache: until the TTL lapses, repeat requests
+                # for this poison key are answered without resimulating.
+                self._failures[key] = (
+                    time.monotonic() + self.failure_ttl_s, str(error)
+                )
+                raise error
             engine.commit_serialized(key, result_dict, seconds)
 
         await self.flights.run(resolved.key, flight)
@@ -180,15 +236,63 @@ class ResultsService:
                 500, f"simulation {resolved.key[:12]}… landed but is not cached"
             )
 
+    def _check_failure_cache(self, key: str) -> None:
+        """Refuse (503 + Retry-After) keys with a live cached failure."""
+        entry = self._failures.get(key)
+        if entry is None:
+            return
+        expiry, message = entry
+        remaining = expiry - time.monotonic()
+        if remaining <= 0:
+            del self._failures[key]
+            return
+        self.failure_cache_hits += 1
+        raise _HttpError(
+            503,
+            f"cached failure for {key[:12]}… (retry in {remaining:.0f}s): {message}",
+            headers={"Retry-After": str(max(1, int(remaining + 0.999)))},
+        )
+
+    def _prune_failure_cache(self) -> None:
+        now = time.monotonic()
+        for key in [k for k, (expiry, _) in self._failures.items() if expiry <= now]:
+            del self._failures[key]
+
+    def _check_queue_budget(self, new_sims: int) -> None:
+        """Refuse renders that would overflow the simulation queue budget."""
+        projected = self.inflight_sims + new_sims
+        if projected <= self.workers + self.queue_budget:
+            return
+        self.rejected_busy += 1
+        # Rough drain estimate: a full queue at ~1s per simulation slot.
+        backlog = max(1, (projected - self.workers) // max(1, self.workers))
+        raise _HttpError(
+            503,
+            f"simulation queue over budget ({self.inflight_sims} in flight, "
+            f"{new_sims} requested, budget {self.queue_budget}); retry later",
+            headers={"Retry-After": str(min(60, backlog))},
+        )
+
     # ------------------------------------------------------------------ handlers
     async def handle_experiments(self) -> Tuple[int, bytes, str, Dict[str, str]]:
         body = _json_bytes({"experiments": experiment_catalog()})
         return 200, body, "application/json", {}
 
     async def handle_healthz(self) -> Tuple[int, bytes, str, Dict[str, str]]:
+        self._prune_failure_cache()
+        degraded = []
+        if self.cache is not None and self.cache.quarantined:
+            degraded.append(f"{self.cache.quarantined} cache entries quarantined")
+        if self._failures:
+            degraded.append(f"{len(self._failures)} keys in failure cache")
+        if self.inflight_sims > self.workers + self.queue_budget:
+            degraded.append("simulation queue over budget")
+        if self.draining:
+            degraded.append("draining for shutdown")
         body = _json_bytes(
             {
-                "status": "ok",
+                "status": "degraded" if degraded else "ok",
+                "degraded_reasons": degraded,
                 "uptime_s": round(time.time() - self.started_at, 3),
                 "engines": len(self.engines),
                 "jobs": len(self.jobs),
@@ -196,6 +300,15 @@ class ResultsService:
                     "in_flight": len(self.flights),
                     "started": self.flights.started,
                     "joined": self.flights.joined,
+                },
+                "reliability": {
+                    "inflight_sims": self.inflight_sims,
+                    "queue_budget": self.queue_budget,
+                    "rejected_busy": self.rejected_busy,
+                    "deadline_expired": self.deadline_expired,
+                    "failure_cache": len(self._failures),
+                    "failure_cache_hits": self.failure_cache_hits,
+                    "quarantined": self.cache.quarantined if self.cache is not None else 0,
                 },
                 "cache_dir": str(self.cache.directory) if self.cache is not None else None,
             }
@@ -211,6 +324,7 @@ class ResultsService:
     async def handle_render(
         self, name: str, body: bytes, if_none_match: Optional[str]
     ) -> Tuple[int, bytes, str, Dict[str, str]]:
+        maybe_fault("serve", key=None)
         try:
             experiment = canonical_name(name)
         except ExperimentError as error:
@@ -241,12 +355,34 @@ class ResultsService:
             self.log(f"revalidated experiment={experiment} etag={etag[1:13]}… 304")
             return 304, b"", CONTENT_TYPES[request.format], {"ETag": etag}
 
+        # Degradation gates, before any work is admitted: a queue already
+        # over budget refuses the render outright (503 + Retry-After).
+        cold = sum(1 for item in resolved if engine.cached(item) is None)
+        if cold:
+            self._check_queue_budget(cold)
+
         job = self.jobs.create(
             experiment, request.scale, request.seed, request.benchmarks,
             [item.key for item in resolved],
         )
         try:
-            payload = await self._render(engine, experiment, request, resolved, job)
+            payload = await asyncio.wait_for(
+                self._render(engine, experiment, request, resolved, job),
+                timeout=self.request_timeout_s,
+            )
+        except asyncio.TimeoutError as error:
+            # The per-request deadline lapsed.  In-flight simulations are
+            # *not* abandoned: single-flight shields them, they land in the
+            # shared cache, and the client's retry renders warm.
+            self.deadline_expired += 1
+            job.finish("failed")
+            self.log(job.summary())
+            raise _HttpError(
+                503,
+                f"render deadline ({self.request_timeout_s:.0f}s) exceeded; "
+                "simulations continue in the background — retry shortly",
+                headers={"Retry-After": "2"},
+            ) from error
         except CampaignRunError as error:
             job.failures[error.key] = error.to_dict()
             job.finish("failed")
@@ -314,6 +450,15 @@ class ResultsService:
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._active_requests += 1
+        try:
+            await self._handle_connection(reader, writer)
+        finally:
+            self._active_requests -= 1
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         try:
             parsed = await _read_request(reader)
             if parsed is None:
@@ -327,16 +472,18 @@ class ResultsService:
                 error.status,
                 _json_bytes({"error": str(error)}),
                 "application/json",
-                {},
+                dict(error.headers),
             )
         except (asyncio.IncompleteReadError, ConnectionError):
             writer.close()
             return
         except Exception as error:  # noqa: BLE001 - daemon must not die per-request
+            # Full context to the server log; a generic body to the client
+            # (internal exception text is not part of the API surface).
             self.log(f"internal error: {type(error).__name__}: {error}")
             status, payload, content_type, extra = (
                 500,
-                _json_bytes({"error": f"{type(error).__name__}: {error}"}),
+                _json_bytes({"error": "internal server error"}),
                 "application/json",
                 {},
             )
@@ -393,7 +540,22 @@ class ResultsService:
             if ready is not None:
                 ready.set()
             async with server:
-                await server.serve_forever()
+                try:
+                    await server.serve_forever()
+                except asyncio.CancelledError:
+                    # Graceful drain: stop accepting, let in-flight requests
+                    # finish (bounded), then tear the pool down.
+                    self.draining = True
+                    server.close()
+                    deadline = time.monotonic() + self.DRAIN_TIMEOUT_S
+                    while self._active_requests and time.monotonic() < deadline:
+                        await asyncio.sleep(0.05)
+                    if self._active_requests:
+                        self.log(
+                            f"drain timeout: {self._active_requests} "
+                            "requests still in flight"
+                        )
+                    raise
         finally:
             self.executor.shutdown(wait=False, cancel_futures=True)
             self.executor = None
@@ -408,10 +570,23 @@ def _json_bytes(data: Dict[str, object]) -> bytes:
     return (json.dumps(data, indent=1, sort_keys=True) + "\n").encode("utf-8")
 
 
+async def _readline(reader: asyncio.StreamReader, what: str) -> bytes:
+    """One header line, with StreamReader overruns mapped to clean 400s.
+
+    An over-long line (beyond the reader's 64 KiB limit) raises
+    ``ValueError``/``LimitOverrunError`` from ``readline``; without this
+    wrapper that surfaced as a traceback-shaped 500.
+    """
+    try:
+        return await reader.readline()
+    except (ValueError, asyncio.LimitOverrunError) as error:
+        raise _HttpError(400, f"oversized {what}") from error
+
+
 async def _read_request(
     reader: asyncio.StreamReader,
 ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-    request_line = await reader.readline()
+    request_line = await _readline(reader, "request line")
     if not request_line:
         return None
     parts = request_line.decode("latin-1").strip().split()
@@ -420,9 +595,11 @@ async def _read_request(
     method, target = parts[0].upper(), parts[1]
     headers: Dict[str, str] = {}
     while True:
-        line = await reader.readline()
+        line = await _readline(reader, "header line")
         if line in (b"\r\n", b"\n", b""):
             break
+        if len(headers) >= MAX_HEADER_LINES:
+            raise _HttpError(400, f"more than {MAX_HEADER_LINES} header lines")
         name, _, value = line.decode("latin-1").partition(":")
         headers[name.strip().lower()] = value.strip()
     try:
@@ -459,9 +636,19 @@ def serve(
     cache_dir: Optional[Union[str, pathlib.Path]] = None,
     workers: int = 2,
     verbose: bool = False,
+    request_timeout_s: Optional[float] = None,
+    queue_budget: int = 32,
+    failure_ttl_s: float = ResultsService.DEFAULT_FAILURE_TTL_S,
 ) -> int:
     """Blocking entry point shared by ``tdm-repro serve`` and run_server.py."""
-    service = ResultsService(cache_dir=cache_dir, workers=workers, verbose=verbose)
+    service = ResultsService(
+        cache_dir=cache_dir,
+        workers=workers,
+        verbose=verbose,
+        request_timeout_s=request_timeout_s,
+        queue_budget=queue_budget,
+        failure_ttl_s=failure_ttl_s,
+    )
     try:
         asyncio.run(service.serve(host=host, port=port))
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown

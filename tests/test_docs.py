@@ -95,5 +95,5 @@ class TestDocLinks:
         assert not missing, "docs reference nonexistent paths:\n" + "\n".join(missing)
 
     def test_required_pages_exist(self):
-        for page in ("architecture.md", "determinism.md", "figures.md", "cli.md", "scenarios.md"):
+        for page in ("architecture.md", "determinism.md", "figures.md", "cli.md", "scenarios.md", "reliability.md"):
             assert (DOCS / page).exists(), f"docs/{page} is part of the docs contract"
